@@ -1,0 +1,51 @@
+# eotora — build, test, and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build vet test race cover fuzz bench bench-quick examples paper clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim/ ./internal/game/
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# Short fuzz pass over every fuzz target.
+fuzz:
+	$(GO) test -fuzz=FuzzLoadColumnCSV -fuzztime=15s ./internal/trace/
+	$(GO) test -fuzz=FuzzLoadPriceCSV -fuzztime=15s ./internal/trace/
+	$(GO) test -fuzz=FuzzReadJSON -fuzztime=15s ./internal/topology/
+	$(GO) test -fuzz=FuzzReadCheckpoint -fuzztime=15s ./internal/core/
+
+# Reduced-scale benches for every paper figure + ablations (minutes).
+bench:
+	$(GO) test -bench=. -benchmem -run=NONE ./...
+
+bench-quick:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/vrgaming
+	$(GO) run ./examples/iotfleet
+	$(GO) run ./examples/greenbudget
+	$(GO) run ./examples/multiroom
+	$(GO) run ./examples/realprices
+
+# Full paper-scale evaluation into results/ (tens of minutes).
+paper:
+	$(GO) run ./cmd/experiments -fig all -scale paper -out results/paper
+
+clean:
+	rm -rf results/paper

@@ -1,0 +1,250 @@
+// Benchmarks regenerating every figure of the paper's evaluation
+// (Section VI, Figures 2–9) plus the DESIGN.md §5 ablations. Each bench
+// runs the corresponding internal/experiments harness at reduced scale so
+// `go test -bench=. -benchmem` completes on a laptop; paper-scale sweeps
+// are available through `go run ./cmd/experiments -scale paper`.
+//
+// Custom metrics reported per bench surface the figure's headline numbers
+// (objective ratios, backlog slopes, budget slack) so a bench run doubles
+// as a quick shape check against EXPERIMENTS.md.
+package eotora_test
+
+import (
+	"testing"
+
+	"eotora/internal/experiments"
+	"eotora/internal/stats"
+)
+
+func BenchmarkFig2Traces(b *testing.B) {
+	cfg := experiments.DefaultFig2Config()
+	cfg.Days = 7
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = fig.Series[0].Y[20] // touch the data
+		_ = ratio
+	}
+}
+
+func BenchmarkFig3EnergyFit(b *testing.B) {
+	cfg := experiments.DefaultFig3Config()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4P2AQuality(b *testing.B) {
+	cfg := experiments.QuickP2ASweepConfig()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.P2ASweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := points[len(points)-1]
+		ratio = last.Objective["CGBA"] / last.Objective["OPT"]
+	}
+	b.ReportMetric(ratio, "cgba/opt-ratio")
+}
+
+func BenchmarkFig5P2ATime(b *testing.B) {
+	cfg := experiments.QuickP2ASweepConfig()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.P2ASweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := points[len(points)-1]
+		if cgba := last.Elapsed["CGBA"]; cgba > 0 {
+			speedup = float64(last.Elapsed["OPT"]) / float64(cgba)
+		}
+	}
+	b.ReportMetric(speedup, "opt/cgba-time")
+}
+
+func BenchmarkFig6Lambda(b *testing.B) {
+	cfg := experiments.QuickFig6Config()
+	var iterDrop float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters := fig.Series[1].Y
+		if iters[len(iters)-1] > 0 {
+			iterDrop = iters[0] / iters[len(iters)-1]
+		}
+	}
+	b.ReportMetric(iterDrop, "iters(λ=0)/iters(λmax)")
+}
+
+func BenchmarkFig7Backlog(b *testing.B) {
+	cfg := experiments.QuickFig7Config()
+	var converged float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := fig.Series[0].Y
+		converged = stats.Mean(q[len(q)/2:])
+	}
+	b.ReportMetric(converged, "converged-backlog")
+}
+
+func BenchmarkFig8VSweep(b *testing.B) {
+	cfg := experiments.QuickFig8Config()
+	var slope float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fit, err := stats.FitLine(fig.Series[0].X, fig.Series[0].Y); err == nil {
+			slope = fit.Slope
+		}
+	}
+	b.ReportMetric(slope, "backlog-vs-V-slope")
+}
+
+func BenchmarkFig9Budget(b *testing.B) {
+	cfg := experiments.QuickFig9Config()
+	var slack float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var budgets, realized []float64
+		for _, s := range fig.Series {
+			switch s.Name {
+			case "budget line":
+				budgets = s.Y
+			case "BDMA-DPP realized cost":
+				realized = s.Y
+			}
+		}
+		slack = 0
+		for p := range budgets {
+			slack += (budgets[p] - realized[p]) / budgets[p]
+		}
+		slack /= float64(len(budgets))
+	}
+	b.ReportMetric(slack, "avg-budget-slack")
+}
+
+func BenchmarkAblationBDMAZ(b *testing.B) {
+	cfg := experiments.QuickAblationConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationBDMAZ(cfg, []int{1, 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationP2BSolver(b *testing.B) {
+	cfg := experiments.QuickAblationConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationP2BSolver(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationIID(b *testing.B) {
+	cfg := experiments.QuickAblationConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationIID(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFronthaulJitter(b *testing.B) {
+	cfg := experiments.QuickAblationConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationFronthaulJitter(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPivot(b *testing.B) {
+	cfg := experiments.QuickAblationConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPivot(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationComputeBound(b *testing.B) {
+	cfg := experiments.QuickAblationConfig()
+	cfg.Slots = 48
+	cfg.Warmup = 12
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationComputeBound(cfg, []float64{10, 500}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSeeds(b *testing.B) {
+	cfg := experiments.QuickAblationConfig()
+	cfg.Slots = 36
+	cfg.Warmup = 8
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSeeds(cfg, []int64{1, 2, 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFlashCrowd(b *testing.B) {
+	cfg := experiments.QuickAblationConfig()
+	cfg.Slots = 48
+	cfg.Warmup = 8
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationFlashCrowd(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPerRoomBudgets(b *testing.B) {
+	cfg := experiments.QuickAblationConfig()
+	cfg.Slots = 48
+	cfg.Warmup = 8
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPerRoomBudgets(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationStaleObservation(b *testing.B) {
+	cfg := experiments.QuickAblationConfig()
+	cfg.Slots = 48
+	cfg.Warmup = 8
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationStaleObservation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationConvergence(b *testing.B) {
+	cfg := experiments.QuickAblationConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationConvergence(cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Command eotorasim runs a full online EOTORA simulation: it generates the
+// paper's Section VI-A scenario, drives a DPP controller slot by slot, and
+// prints either a summary or the per-slot metric series as CSV.
+//
+// Usage:
+//
+//	eotorasim -devices 100 -slots 240 -v 100 -z 5
+//	eotorasim -solver ropt -budget-frac 0.3 -csv > run.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eotora/internal/core"
+	"eotora/internal/experiments"
+	"eotora/internal/sim"
+	"eotora/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "eotorasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("eotorasim", flag.ContinueOnError)
+	var (
+		devices    = fs.Int("devices", 100, "number of mobile devices I")
+		slots      = fs.Int("slots", 240, "slots to simulate")
+		warmup     = fs.Int("warmup", 48, "warmup slots excluded from averages")
+		v          = fs.Float64("v", 100, "drift-plus-penalty weight V")
+		z          = fs.Int("z", 5, "BDMA alternation rounds")
+		lambda     = fs.Float64("lambda", 0, "CGBA λ in [0, 0.125)")
+		solverName = fs.String("solver", "cgba", "P2-A solver: cgba, mcba, or ropt")
+		budgetFrac = fs.Float64("budget-frac", 0.5, "budget position in [all-F^L, all-F^U] cost range")
+		seed       = fs.Int64("seed", 1, "random seed")
+		csv        = fs.Bool("csv", false, "emit per-slot CSV instead of a summary")
+		priceCSV   = fs.String("price-csv", "", "CSV file with real electricity prices (replaces the synthetic process)")
+		priceCol   = fs.String("price-column", "LBMP ($/MWHr)", "price column name in -price-csv")
+		resumeFrom = fs.String("resume", "", "checkpoint file to resume from (see -checkpoint)")
+		configFile = fs.String("config", "", "JSON run-spec file; flags for scenario/controller are ignored when set")
+		saveTo     = fs.String("checkpoint", "", "write a checkpoint file after the run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *configFile != "" {
+		return runFromConfig(*configFile, *csv, *saveTo, *resumeFrom)
+	}
+
+	sc, err := experiments.NewScenario(experiments.ScenarioOptions{
+		Devices:        *devices,
+		BudgetFraction: *budgetFrac,
+	}, *seed)
+	if err != nil {
+		return err
+	}
+	genCfg := trace.DefaultGeneratorConfig()
+	if *priceCSV != "" {
+		f, err := os.Open(*priceCSV)
+		if err != nil {
+			return err
+		}
+		prices, err := trace.LoadPriceCSV(f, *priceCol)
+		closeErr := f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", *priceCSV, err)
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		genCfg.PriceSeries = prices
+	}
+	gen, err := sc.Generator(genCfg)
+	if err != nil {
+		return err
+	}
+
+	var ctrl *core.Controller
+	switch *solverName {
+	case "cgba":
+		ctrl, err = core.NewBDMAController(sc.Sys, *v, *z, *lambda, *seed)
+	case "mcba":
+		ctrl, err = core.NewMCBAController(sc.Sys, *v, *z, *seed)
+	case "ropt":
+		ctrl, err = core.NewROPTController(sc.Sys, *v, *z, *seed)
+	default:
+		return fmt.Errorf("unknown solver %q (want cgba, mcba, or ropt)", *solverName)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *resumeFrom != "" {
+		f, err := os.Open(*resumeFrom)
+		if err != nil {
+			return err
+		}
+		cp, err := core.ReadCheckpoint(f)
+		closeErr := f.Close()
+		if err != nil {
+			return fmt.Errorf("reading checkpoint %s: %w", *resumeFrom, err)
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		if err := ctrl.Restore(cp); err != nil {
+			return err
+		}
+		// Fast-forward the state source past the slots already simulated:
+		// the generator is deterministic, so skipping cp.Slot states
+		// resumes the exact trace.
+		for s := 0; s < cp.Slot; s++ {
+			gen.Next()
+		}
+	}
+
+	metrics, err := sim.Run(ctrl, gen, sim.Config{Slots: *slots, Warmup: *warmup})
+	if err != nil {
+		return err
+	}
+
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			return err
+		}
+		if err := ctrl.WriteCheckpoint(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	if *csv {
+		return metrics.WriteCSV(os.Stdout)
+	}
+
+	k, m, n, i := sc.Net.Counts()
+	fmt.Printf("scenario: %d base stations, %d rooms, %d servers, %d devices (seed %d)\n", k, m, n, i, *seed)
+	fmt.Printf("controller: %s-based DPP, V=%g, z=%d, λ=%g\n", ctrl.SolverName(), *v, *z, *lambda)
+	fmt.Printf("budget:   $%.4f per slot\n", sc.Sys.Budget.Dollars())
+	fmt.Printf("slots:    %d (%d warmup)\n\n", *slots, *warmup)
+	fmt.Printf("avg latency:       %.4f s (sum over devices per slot)\n", metrics.AvgLatency())
+	fmt.Printf("avg energy cost:   $%.4f per slot\n", metrics.AvgCost())
+	fmt.Printf("budget satisfied:  %v (realized/budget = %.3f)\n",
+		metrics.BudgetSatisfied(0.02), metrics.AvgCost()/metrics.Budget)
+	fmt.Printf("avg queue backlog: %.3f\n", metrics.AvgBacklog())
+	fmt.Printf("avg decision time: %v per slot\n", metrics.AvgDecisionTime())
+	return nil
+}
+
+// runFromConfig executes a JSON run spec.
+func runFromConfig(path string, csv bool, saveTo, resumeFrom string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	spec, err := experiments.LoadRunSpec(f)
+	closeErr := f.Close()
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", path, err)
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	sc, gen, ctrl, cfg, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	if resumeFrom != "" {
+		cf, err := os.Open(resumeFrom)
+		if err != nil {
+			return err
+		}
+		cp, err := core.ReadCheckpoint(cf)
+		closeErr := cf.Close()
+		if err != nil {
+			return fmt.Errorf("reading checkpoint %s: %w", resumeFrom, err)
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		if err := ctrl.Restore(cp); err != nil {
+			return err
+		}
+		for s := 0; s < cp.Slot; s++ {
+			gen.Next()
+		}
+	}
+	metrics, err := sim.Run(ctrl, gen, cfg)
+	if err != nil {
+		return err
+	}
+	if saveTo != "" {
+		cf, err := os.Create(saveTo)
+		if err != nil {
+			return err
+		}
+		if err := ctrl.WriteCheckpoint(cf); err != nil {
+			cf.Close()
+			return err
+		}
+		if err := cf.Close(); err != nil {
+			return err
+		}
+	}
+	if csv {
+		return metrics.WriteCSV(os.Stdout)
+	}
+	k, m, n, i := sc.Net.Counts()
+	fmt.Printf("config:   %s\n", path)
+	fmt.Printf("scenario: %d base stations, %d rooms, %d servers, %d devices\n", k, m, n, i)
+	fmt.Printf("controller: %s-based DPP, V=%g\n", ctrl.SolverName(), ctrl.V())
+	fmt.Printf("budget:   $%.4f per slot\n\n", sc.Sys.Budget.Dollars())
+	fmt.Printf("avg latency:       %.4f s\n", metrics.AvgLatency())
+	fmt.Printf("avg energy cost:   $%.4f per slot (within budget: %v)\n", metrics.AvgCost(), metrics.BudgetSatisfied(0.02))
+	fmt.Printf("avg queue backlog: %.3f\n", metrics.AvgBacklog())
+	fmt.Printf("avg decision time: %v per slot\n", metrics.AvgDecisionTime())
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSmallSimulation(t *testing.T) {
+	if err := run([]string{"-devices", "5", "-slots", "6", "-warmup", "1", "-z", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidationErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"unknown solver", []string{"-devices", "5", "-slots", "4", "-solver", "magic"}},
+		{"bad flag", []string{"-nope"}},
+		{"missing price csv", []string{"-devices", "5", "-slots", "4", "-price-csv", "/nonexistent.csv"}},
+		{"missing config", []string{"-config", "/nonexistent.json"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Error("invalid arguments accepted")
+			}
+		})
+	}
+}
+
+func TestRunCheckpointRoundtripViaCLI(t *testing.T) {
+	dir := t.TempDir()
+	cp := filepath.Join(dir, "cp.json")
+	if err := run([]string{"-devices", "5", "-slots", "6", "-warmup", "1", "-z", "1", "-checkpoint", cp}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(cp); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	if err := run([]string{"-devices", "5", "-slots", "6", "-warmup", "1", "-z", "1", "-resume", cp}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	cfg := filepath.Join(dir, "run.json")
+	if err := os.WriteFile(cfg, []byte(`{"devices": 5, "slots": 6, "z": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", cfg}); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"bogus": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", bad}); err == nil {
+		t.Error("unknown config field accepted")
+	}
+}

@@ -1,0 +1,235 @@
+// Command experiments regenerates the paper's evaluation figures
+// (Figures 2–9) and the DESIGN.md ablation studies.
+//
+// Usage:
+//
+//	experiments -fig 4                 # one figure, reduced scale
+//	experiments -fig 9 -scale paper    # paper-scale sweep (slow)
+//	experiments -fig all -format csv   # everything, CSV output
+//
+// Figure IDs: 2–9, ablation-bdma-z, ablation-p2b, ablation-iid,
+// ablation-fronthaul, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"eotora/internal/experiments"
+	"eotora/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		figID  = fs.String("fig", "all", "figure to regenerate: 2..9, ablation-bdma-z, ablation-p2b, ablation-iid, ablation-fronthaul, ablation-pivot, all")
+		scale  = fs.String("scale", "quick", "experiment scale: quick or paper")
+		format = fs.String("format", "table", "output format: table, csv, plot, or markdown")
+		seed   = fs.Int64("seed", 1, "random seed")
+		outDir = fs.String("out", "", "write each figure to <out>/<id>.{txt,csv,md} instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paper := false
+	switch *scale {
+	case "quick":
+	case "paper":
+		paper = true
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or paper)", *scale)
+	}
+	switch *format {
+	case "table", "csv", "plot", "markdown":
+	default:
+		return fmt.Errorf("unknown format %q (want table, csv, plot, or markdown)", *format)
+	}
+
+	ids := []string{*figID}
+	if *figID == "all" {
+		ids = []string{"2", "3", "4", "5", "6", "7", "8", "9",
+			"ablation-bdma-z", "ablation-p2b", "ablation-iid", "ablation-fronthaul", "ablation-pivot", "ablation-compute-bound", "ablation-seeds", "ablation-flashcrowd", "ablation-per-room", "ablation-stale", "ablation-convergence"}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
+		fig, err := build(id, paper, *seed)
+		if err != nil {
+			return fmt.Errorf("fig %s: %w", id, err)
+		}
+		if *outDir != "" {
+			if err := writeFigureFiles(*outDir, fig); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s/%s.{txt,csv,md}\n", *outDir, fig.ID)
+			continue
+		}
+		switch *format {
+		case "csv":
+			if err := fig.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+		case "plot":
+			if err := renderPlot(fig); err != nil {
+				return err
+			}
+		case "markdown":
+			if err := fig.WriteMarkdown(os.Stdout); err != nil {
+				return err
+			}
+		default:
+			if err := fig.Render(os.Stdout); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func build(id string, paper bool, seed int64) (*experiments.Figure, error) {
+	switch id {
+	case "2":
+		cfg := experiments.DefaultFig2Config()
+		cfg.Seed = seed
+		if !paper {
+			cfg.Days = 7
+			cfg.Devices = 30
+		}
+		return experiments.Fig2(cfg)
+	case "3":
+		cfg := experiments.DefaultFig3Config()
+		cfg.Seed = seed
+		return experiments.Fig3(cfg)
+	case "4", "5":
+		cfg := experiments.QuickP2ASweepConfig()
+		if paper {
+			cfg = experiments.DefaultP2ASweepConfig()
+		}
+		cfg.Seed = seed
+		if id == "4" {
+			return experiments.Fig4(cfg)
+		}
+		return experiments.Fig5(cfg)
+	case "6":
+		cfg := experiments.QuickFig6Config()
+		if paper {
+			cfg = experiments.DefaultFig6Config()
+		}
+		cfg.Seed = seed
+		return experiments.Fig6(cfg)
+	case "7":
+		cfg := experiments.QuickFig7Config()
+		if paper {
+			cfg = experiments.DefaultFig7Config()
+		}
+		cfg.Seed = seed
+		return experiments.Fig7(cfg)
+	case "8":
+		cfg := experiments.QuickFig8Config()
+		if paper {
+			cfg = experiments.DefaultFig8Config()
+		}
+		cfg.Seed = seed
+		return experiments.Fig8(cfg)
+	case "9":
+		cfg := experiments.QuickFig9Config()
+		if paper {
+			cfg = experiments.DefaultFig9Config()
+		}
+		cfg.Seed = seed
+		return experiments.Fig9(cfg)
+	case "ablation-bdma-z":
+		return experiments.AblationBDMAZ(ablationCfg(paper, seed), nil)
+	case "ablation-p2b":
+		return experiments.AblationP2BSolver(ablationCfg(paper, seed))
+	case "ablation-iid":
+		return experiments.AblationIID(ablationCfg(paper, seed))
+	case "ablation-fronthaul":
+		return experiments.AblationFronthaulJitter(ablationCfg(paper, seed))
+	case "ablation-pivot":
+		return experiments.AblationPivot(ablationCfg(paper, seed))
+	case "ablation-compute-bound":
+		return experiments.AblationComputeBound(ablationCfg(paper, seed), nil)
+	case "ablation-seeds":
+		return experiments.AblationSeeds(ablationCfg(paper, seed), nil)
+	case "ablation-flashcrowd":
+		return experiments.AblationFlashCrowd(ablationCfg(paper, seed))
+	case "ablation-per-room":
+		return experiments.AblationPerRoomBudgets(ablationCfg(paper, seed))
+	case "ablation-stale":
+		return experiments.AblationStaleObservation(ablationCfg(paper, seed))
+	case "ablation-convergence":
+		return experiments.AblationConvergence(ablationCfg(paper, seed), nil)
+	default:
+		return nil, fmt.Errorf("unknown figure id %q", id)
+	}
+}
+
+func ablationCfg(paper bool, seed int64) experiments.AblationConfig {
+	cfg := experiments.QuickAblationConfig()
+	if paper {
+		cfg = experiments.DefaultAblationConfig()
+	}
+	cfg.Seed = seed
+	return cfg
+}
+
+// renderPlot draws the figure's series as an ASCII chart, followed by the
+// notes. Figures with more series than plot markers fall back to tables.
+func renderPlot(fig *experiments.Figure) error {
+	if len(fig.Series) > 8 {
+		return fig.Render(os.Stdout)
+	}
+	series := make([]plot.Series, 0, len(fig.Series))
+	for _, s := range fig.Series {
+		series = append(series, plot.Series{Name: s.Name, X: s.X, Y: s.Y})
+	}
+	cfg := plot.Config{
+		Title:  fmt.Sprintf("%s: %s", fig.ID, fig.Title),
+		XLabel: fig.XLabel,
+		YLabel: fig.YLabel,
+	}
+	if err := plot.Lines(os.Stdout, cfg, series...); err != nil {
+		return err
+	}
+	for _, n := range fig.Notes {
+		fmt.Println("note:", n)
+	}
+	return nil
+}
+
+// writeFigureFiles renders the figure in every format under dir.
+func writeFigureFiles(dir string, fig *experiments.Figure) error {
+	write := func(ext string, render func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, fig.ID+ext))
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(".txt", fig.Render); err != nil {
+		return err
+	}
+	if err := write(".csv", fig.WriteCSV); err != nil {
+		return err
+	}
+	return write(".md", fig.WriteMarkdown)
+}

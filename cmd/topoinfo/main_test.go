@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunGenerateSummary(t *testing.T) {
+	// Summary and map paths both execute on a generated network.
+	if err := run([]string{"-devices", "5", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-devices", "5", "-seed", "2", "-map"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSONRoundtripViaFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.json")
+
+	// Generate + save by redirecting stdout.
+	old := os.Stdout
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = f
+	err = run([]string{"-devices", "4", "-seed", "3", "-json"})
+	os.Stdout = old
+	if cerr := f.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Load it back and summarize.
+	if err := run([]string{"-load", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-load", "/nonexistent/net.json"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

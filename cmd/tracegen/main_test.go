@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout while fn runs and returns what was printed.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = f
+	runErr := fn()
+	os.Stdout = old
+	if cerr := f.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestEmitInputsCSV(t *testing.T) {
+	out := capture(t, func() error {
+		return run([]string{"-days", "1", "-devices", "4", "-what", "inputs"})
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 25 { // header + 24 hourly rows
+		t.Fatalf("lines = %d, want 25", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "slot,price_usd_mwh") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestEmitChannelsCSV(t *testing.T) {
+	out := capture(t, func() error {
+		return run([]string{"-days", "1", "-devices", "3", "-what", "channels"})
+	})
+	if !strings.HasPrefix(out, "slot,device,station") {
+		t.Errorf("header missing: %q", out[:40])
+	}
+}
+
+func TestEmitSummary(t *testing.T) {
+	out := capture(t, func() error {
+		return run([]string{"-days", "2", "-devices", "5", "-what", "summary"})
+	})
+	for _, want := range []string{"trace summary", "price", "total task size", "$/MWh"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-days", "0"}); err == nil {
+		t.Error("zero days accepted")
+	}
+	if err := run([]string{"-what", "nonsense"}); err == nil {
+		t.Error("unknown trace kind accepted")
+	}
+}

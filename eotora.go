@@ -1,0 +1,239 @@
+// Package eotora is a Go implementation of "Energy-Aware Online Task
+// Offloading and Resource Allocation for Mobile Edge Computing" (Liu, Mao,
+// Shang, Liu, Yang — ICDCS 2023).
+//
+// The library models a heterogeneous MEC system (base stations, edge-server
+// rooms, mobile devices) operating in discrete time slots. Each slot the
+// controller observes the system state β_t — task sizes, input data
+// lengths, channel conditions, electricity price — and makes the joint
+// online decision α_t: base-station selection, server selection, bandwidth
+// allocation, computing allocation, and per-server CPU frequency scaling.
+// The objective is minimum time-average latency subject to a time-average
+// energy-cost budget.
+//
+// The package re-exports the implementation so downstream users need a
+// single import:
+//
+//	sc, _ := eotora.NewScenario(eotora.ScenarioOptions{Devices: 100}, 42)
+//	gen, _ := sc.DefaultGenerator()
+//	ctrl, _ := eotora.NewBDMAController(sc.Sys, 100 /* V */, 5 /* z */, 0 /* λ */, 42)
+//	metrics, _ := eotora.Run(ctrl, gen, eotora.SimConfig{Slots: 240, Warmup: 48})
+//	fmt.Println(metrics.AvgLatency(), metrics.AvgCost())
+//
+// Algorithms implemented (paper Section V):
+//
+//   - DPP — the drift-plus-penalty online controller (Algorithm 1) with
+//     virtual queue Q(t+1) = max{Q(t) + C_t − C̄, 0}.
+//   - BDMA — the Benders'-decomposition-motivated alternation between the
+//     binary selection subproblem P2-A and the convex frequency subproblem
+//     P2-B (Algorithm 2).
+//   - CGBA — the weighted-congestion-game best-response solver for P2-A
+//     with the 2.62/(1−8λ) approximation guarantee (Algorithm 3).
+//   - Baselines — MCBA (Markov-chain Monte Carlo), ROPT (random selection
+//     with optimal allocation), and an exact branch-and-bound optimum.
+//
+// The evaluation harnesses under internal/experiments regenerate every
+// figure of the paper's Section VI; see EXPERIMENTS.md.
+package eotora
+
+import (
+	"eotora/internal/core"
+	"eotora/internal/energy"
+	"eotora/internal/experiments"
+	"eotora/internal/game"
+	"eotora/internal/sim"
+	"eotora/internal/topology"
+	"eotora/internal/trace"
+	"eotora/internal/units"
+)
+
+// Core problem and controller types.
+type (
+	// System bundles the static EOTORA data: topology, energy models,
+	// slot length, and budget.
+	System = core.System
+	// Controller is the online DPP controller (Algorithm 1).
+	Controller = core.Controller
+	// ControllerConfig parameterizes a Controller.
+	ControllerConfig = core.ControllerConfig
+	// SlotResult reports one slot's decision and metrics.
+	SlotResult = core.SlotResult
+	// Decision is the full per-slot decision α_t.
+	Decision = core.Decision
+	// Selection is the binary part (x_t, y_t) of a decision.
+	Selection = core.Selection
+	// Allocation is the continuous share part (Ψ_t, Φ_t).
+	Allocation = core.Allocation
+	// Frequencies is Ω_t, per-server per-core clock frequencies.
+	Frequencies = core.Frequencies
+	// BDMAConfig parameterizes Algorithm 2.
+	BDMAConfig = core.BDMAConfig
+	// BDMAResult is Algorithm 2's decision plus statistics.
+	BDMAResult = core.BDMAResult
+	// P2ASolver solves the per-slot binary subproblem.
+	P2ASolver = core.P2ASolver
+	// CGBASolver is the paper's congestion-game solver (Algorithm 3).
+	CGBASolver = core.CGBASolver
+	// MCBASolver is the MCMC baseline.
+	MCBASolver = core.MCBASolver
+	// RandomSolver is the ROPT baseline's selection step.
+	RandomSolver = core.RandomSolver
+	// OptimalSolver is the exact branch-and-bound baseline.
+	OptimalSolver = core.OptimalSolver
+)
+
+// Topology types.
+type (
+	// Network is the static MEC topology.
+	Network = topology.Network
+	// NetworkSpec parameterizes random topology generation.
+	NetworkSpec = topology.Spec
+	// BaseStation, Room, Server, Device are topology elements.
+	BaseStation = topology.BaseStation
+	Room        = topology.Room
+	Server      = topology.Server
+	Device      = topology.Device
+)
+
+// State-generation types.
+type (
+	// State is the per-slot system state β_t.
+	State = trace.State
+	// StateSource produces consecutive states.
+	StateSource = trace.Source
+	// StateGenerator is the synthetic non-iid state source.
+	StateGenerator = trace.Generator
+	// GeneratorConfig parameterizes the state processes.
+	GeneratorConfig = trace.GeneratorConfig
+)
+
+// Simulation types.
+type (
+	// SimConfig bounds a simulation run.
+	SimConfig = sim.Config
+	// Metrics holds a run's per-slot series and summaries.
+	Metrics = sim.Metrics
+)
+
+// Energy-model types.
+type (
+	// EnergyModel is a convex per-core power function g_n(·).
+	EnergyModel = energy.Model
+	// QuadraticEnergy is the paper's fitted quadratic model.
+	QuadraticEnergy = energy.Quadratic
+	// LinearEnergy is the linear model of related work.
+	LinearEnergy = energy.Linear
+)
+
+// Scenario types for paper-parameterized setups.
+type (
+	// Scenario is a generated paper-configuration system.
+	Scenario = experiments.Scenario
+	// ScenarioOptions parameterizes NewScenario.
+	ScenarioOptions = experiments.ScenarioOptions
+	// Figure is a reproduced evaluation plot.
+	Figure = experiments.Figure
+	// Per-figure configurations (see internal/experiments for the
+	// Default*/Quick* constructors re-exported below).
+	Fig2Config     = experiments.Fig2Config
+	Fig3Config     = experiments.Fig3Config
+	P2ASweepConfig = experiments.P2ASweepConfig
+	Fig6Config     = experiments.Fig6Config
+	Fig7Config     = experiments.Fig7Config
+	Fig8Config     = experiments.Fig8Config
+	Fig9Config     = experiments.Fig9Config
+	AblationConfig = experiments.AblationConfig
+	// RunSpec is a JSON-serializable experiment definition.
+	RunSpec = experiments.RunSpec
+)
+
+// Checkpointing types.
+type (
+	// Checkpoint is a controller's serializable resume state.
+	Checkpoint = core.Checkpoint
+)
+
+// Game types for advanced use (custom P2-A solvers).
+type (
+	// CongestionGame is the weighted congestion game behind P2-A.
+	CongestionGame = game.Game
+	// GameProfile is one strategy per player.
+	GameProfile = game.Profile
+)
+
+// Quantity types.
+type (
+	Frequency          = units.Frequency
+	DataSize           = units.DataSize
+	Cycles             = units.Cycles
+	SpectralEfficiency = units.SpectralEfficiency
+	Power              = units.Power
+	EnergyAmount       = units.Energy
+	Price              = units.Price
+	Money              = units.Money
+	Seconds            = units.Seconds
+)
+
+// Re-exported constructors and helpers.
+var (
+	// NewSystem builds a System from a finalized network.
+	NewSystem = core.NewSystem
+	// NewController builds a DPP controller from a full config.
+	NewController = core.NewController
+	// NewBDMAController builds the paper's BDMA-based DPP (CGBA(λ), z
+	// BDMA rounds).
+	NewBDMAController = core.NewBDMAController
+	// NewROPTController and NewMCBAController build the Figure 9
+	// baselines.
+	NewROPTController = core.NewROPTController
+	NewMCBAController = core.NewMCBAController
+	// NewOptimalController builds the near-optimal reference of equation
+	// (30): branch-and-bound P2-A each slot (slow; budget it).
+	NewOptimalController = core.NewOptimalController
+	// NewScenario generates the paper's Section VI-A setup.
+	NewScenario = experiments.NewScenario
+	// DefaultNetworkSpec is the paper's topology parameterization.
+	DefaultNetworkSpec = topology.DefaultSpec
+	// DefaultGeneratorConfig is the paper's state-process configuration.
+	DefaultGeneratorConfig = trace.DefaultGeneratorConfig
+	// Run simulates a controller over a state source.
+	Run = sim.Run
+	// RunAll simulates several controllers over one shared trace.
+	RunAll = sim.RunAll
+	// LoadRunSpec parses a JSON experiment definition.
+	LoadRunSpec = experiments.LoadRunSpec
+	// ReadCheckpoint parses a controller checkpoint.
+	ReadCheckpoint = core.ReadCheckpoint
+	// LoadPriceCSV reads real electricity prices (e.g. NYISO exports).
+	LoadPriceCSV = trace.LoadPriceCSV
+	// NormalizeLevels rescales a real demand trace into [0, 1] levels.
+	NormalizeLevels = trace.NormalizeLevels
+)
+
+// Figure regeneration entry points (see EXPERIMENTS.md).
+var (
+	Fig2 = experiments.Fig2
+	Fig3 = experiments.Fig3
+	Fig4 = experiments.Fig4
+	Fig5 = experiments.Fig5
+	Fig6 = experiments.Fig6
+	Fig7 = experiments.Fig7
+	Fig8 = experiments.Fig8
+	Fig9 = experiments.Fig9
+
+	// Paper-scale figure configurations (Section VI parameters).
+	DefaultFig2Config     = experiments.DefaultFig2Config
+	DefaultFig3Config     = experiments.DefaultFig3Config
+	DefaultP2ASweepConfig = experiments.DefaultP2ASweepConfig
+	DefaultFig6Config     = experiments.DefaultFig6Config
+	DefaultFig7Config     = experiments.DefaultFig7Config
+	DefaultFig8Config     = experiments.DefaultFig8Config
+	DefaultFig9Config     = experiments.DefaultFig9Config
+
+	// Reduced-scale configurations for quick runs and CI.
+	QuickP2ASweepConfig = experiments.QuickP2ASweepConfig
+	QuickFig6Config     = experiments.QuickFig6Config
+	QuickFig7Config     = experiments.QuickFig7Config
+	QuickFig8Config     = experiments.QuickFig8Config
+	QuickFig9Config     = experiments.QuickFig9Config
+)

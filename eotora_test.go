@@ -1,0 +1,198 @@
+package eotora_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"eotora"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quickstart does: scenario → generator → controller → run → metrics.
+func TestFacadeEndToEnd(t *testing.T) {
+	sc, err := eotora.NewScenario(eotora.ScenarioOptions{Devices: 10}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := sc.DefaultGenerator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := eotora.NewBDMAController(sc.Sys, 100, 2, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := eotora.Run(ctrl, gen, eotora.SimConfig{Slots: 24, Warmup: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Slots() != 24 {
+		t.Errorf("Slots = %d, want 24", m.Slots())
+	}
+	if m.AvgLatency() <= 0 || math.IsNaN(m.AvgLatency()) {
+		t.Errorf("AvgLatency = %v", m.AvgLatency())
+	}
+	if m.AvgCost() <= 0 {
+		t.Errorf("AvgCost = %v", m.AvgCost())
+	}
+}
+
+// TestFacadeBaselines builds every controller variant through the facade.
+func TestFacadeBaselines(t *testing.T) {
+	sc, err := eotora.NewScenario(eotora.ScenarioOptions{Devices: 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builders := map[string]func() (*eotora.Controller, error){
+		"CGBA": func() (*eotora.Controller, error) { return eotora.NewBDMAController(sc.Sys, 50, 1, 0, 1) },
+		"MCBA": func() (*eotora.Controller, error) { return eotora.NewMCBAController(sc.Sys, 50, 1, 1) },
+		"ROPT": func() (*eotora.Controller, error) { return eotora.NewROPTController(sc.Sys, 50, 1, 1) },
+	}
+	for want, build := range builders {
+		ctrl, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", want, err)
+		}
+		if got := ctrl.SolverName(); got != want {
+			t.Errorf("SolverName = %q, want %q", got, want)
+		}
+		gen, err := sc.DefaultGenerator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ctrl.Step(gen.Next()); err != nil {
+			t.Errorf("%s Step: %v", want, err)
+		}
+	}
+}
+
+// TestFacadeRunAll drives the Figure 9 comparison through the facade.
+func TestFacadeRunAll(t *testing.T) {
+	sc, err := eotora.NewScenario(eotora.ScenarioOptions{Devices: 8, BudgetFraction: 0.5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := sc.DefaultGenerator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := eotora.NewBDMAController(sc.Sys, 50, 1, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eotora.NewROPTController(sc.Sys, 50, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := eotora.RunAll([]*eotora.Controller{a, b}, gen, eotora.SimConfig{Slots: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("metric sets = %d", len(ms))
+	}
+}
+
+// TestFacadeFigures regenerates two figures through the facade entry points.
+func TestFacadeFigures(t *testing.T) {
+	fig2, err := eotora.Fig2(eotora.Fig2Config{Days: 2, Devices: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig2.ID != "fig2" {
+		t.Errorf("fig ID = %q", fig2.ID)
+	}
+	fig3, err := eotora.Fig3(eotora.DefaultFig3Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig3.Series) < 2 {
+		t.Error("fig3 missing series")
+	}
+}
+
+// TestFacadeQuantities checks unit aliases work end to end.
+func TestFacadeQuantities(t *testing.T) {
+	var f eotora.Frequency = 2.4e9
+	if f.GigaHertz() != 2.4 {
+		t.Errorf("GigaHertz = %v", f.GigaHertz())
+	}
+	var p eotora.Price = 50
+	cost := p.Cost(3.6e9) // 1 MWh
+	if math.Abs(cost.Dollars()-50) > 1e-9 {
+		t.Errorf("Cost = %v", cost)
+	}
+}
+
+// TestFacadeRunSpec drives the JSON run-spec pipeline through the facade.
+func TestFacadeRunSpec(t *testing.T) {
+	spec, err := eotora.LoadRunSpec(strings.NewReader(`{"devices": 6, "slots": 8, "z": 1, "layout": "hex"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, gen, ctrl, cfg, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc == nil || gen == nil || ctrl == nil || cfg.Slots != 8 {
+		t.Fatalf("build outputs: %v %v %v %+v", sc, gen, ctrl, cfg)
+	}
+	m, err := eotora.Run(ctrl, gen, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Slots() != 8 {
+		t.Errorf("ran %d slots", m.Slots())
+	}
+}
+
+// TestFacadeCheckpoint round-trips a checkpoint through the facade API.
+func TestFacadeCheckpoint(t *testing.T) {
+	sc, err := eotora.NewScenario(eotora.ScenarioOptions{Devices: 6}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := sc.DefaultGenerator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := eotora.NewBDMAController(sc.Sys, 50, 1, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Step(gen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := ctrl.WriteCheckpoint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := eotora.ReadCheckpoint(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Slot != 1 {
+		t.Errorf("checkpoint slot = %d, want 1", cp.Slot)
+	}
+	var c eotora.Checkpoint = cp // alias usable as the exported type
+	_ = c
+}
+
+// TestFacadePriceCSV exercises the real-data entry points via the facade.
+func TestFacadePriceCSV(t *testing.T) {
+	prices, err := eotora.LoadPriceCSV(strings.NewReader("p\n42.5\n38.1\n"), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prices) != 2 || prices[0] != 42.5 {
+		t.Errorf("prices = %v", prices)
+	}
+	levels, err := eotora.NormalizeLevels([]float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels[0] != 0 || levels[1] != 1 {
+		t.Errorf("levels = %v", levels)
+	}
+}

@@ -1,0 +1,74 @@
+package eotora_test
+
+import (
+	"fmt"
+	"log"
+
+	"eotora"
+)
+
+// Example runs the paper's BDMA-based DPP controller on a small scenario
+// and reports whether the time-average energy-cost constraint held.
+func Example() {
+	sc, err := eotora.NewScenario(eotora.ScenarioOptions{Devices: 10}, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := sc.DefaultGenerator()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl, err := eotora.NewBDMAController(sc.Sys, 100 /* V */, 2 /* z */, 0 /* λ */, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := eotora.Run(ctrl, gen, eotora.SimConfig{Slots: 96, Warmup: 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("solver:", m.Solver)
+	fmt.Println("within budget:", m.BudgetSatisfied(0.05))
+	// Output:
+	// solver: CGBA
+	// within budget: true
+}
+
+// ExampleNewScenario shows the paper's Section VI-A topology dimensions.
+func ExampleNewScenario() {
+	sc, err := eotora.NewScenario(eotora.ScenarioOptions{Devices: 100}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stations, rooms, servers, devices := sc.Net.Counts()
+	fmt.Printf("%d base stations, %d rooms, %d servers, %d devices\n",
+		stations, rooms, servers, devices)
+	// Output:
+	// 6 base stations, 2 rooms, 16 servers, 100 devices
+}
+
+// ExampleController_Step makes a single online decision by hand.
+func ExampleController_Step() {
+	sc, err := eotora.NewScenario(eotora.ScenarioOptions{Devices: 5}, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := sc.DefaultGenerator()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl, err := eotora.NewBDMAController(sc.Sys, 50, 1, 0, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ctrl.Step(gen.Next())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("slot:", res.Slot)
+	fmt.Println("devices served:", len(res.PerDevice))
+	fmt.Println("frequencies chosen:", len(res.Decision.Freq))
+	// Output:
+	// slot: 1
+	// devices served: 5
+	// frequencies chosen: 16
+}

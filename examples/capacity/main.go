@@ -1,0 +1,79 @@
+// Capacity planning: a downstream-operator use of the library. Given a
+// growing device population and a p95 per-device latency target, how many
+// edge servers per room does the deployment need? The study sweeps the
+// provisioning level, runs the paper's controller on each candidate, and
+// reports the smallest deployment that meets the SLA.
+//
+// Run with:
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eotora"
+	"eotora/internal/topology"
+)
+
+const (
+	devices   = 60
+	slots     = 48
+	warmup    = 12
+	seed      = 23
+	slaP95Sec = 0.055 // 55 ms per-device p95 target
+)
+
+func main() {
+	fmt.Printf("Capacity planning: %d devices, p95 SLA %.0f ms\n\n", devices, slaP95Sec*1e3)
+	fmt.Printf("%16s  %10s  %12s  %12s  %8s\n", "servers/room", "p95 [ms]", "mean [ms]", "cost [$/h]", "meets")
+
+	var chosen int
+	for serversPerRoom := 2; serversPerRoom <= 8; serversPerRoom += 2 {
+		p95, mean, cost, err := evaluate(serversPerRoom)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meets := p95 <= slaP95Sec
+		fmt.Printf("%16d  %10.1f  %12.1f  %12.3f  %8v\n",
+			serversPerRoom, p95*1e3, mean*1e3, cost, meets)
+		if meets && chosen == 0 {
+			chosen = serversPerRoom
+		}
+	}
+	if chosen == 0 {
+		fmt.Println("\nno candidate met the SLA — provision more than 8 servers/room or relax the target")
+		return
+	}
+	fmt.Printf("\n→ provision %d servers per room (smallest deployment meeting the SLA)\n", chosen)
+}
+
+func evaluate(serversPerRoom int) (p95, mean, cost float64, err error) {
+	spec := topology.DefaultSpec(devices)
+	spec.ServersPerRoom = serversPerRoom
+	sc, err := eotora.NewScenario(eotora.ScenarioOptions{
+		Devices: devices,
+		Spec:    &spec,
+	}, seed)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	gen, err := sc.DefaultGenerator()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ctrl, err := eotora.NewBDMAController(sc.Sys, 100, 3, 0, seed)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	m, err := eotora.Run(ctrl, gen, eotora.SimConfig{
+		Slots:           slots,
+		Warmup:          warmup,
+		RecordPerDevice: true,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return m.DeviceLatencyQuantile(0.95), m.DeviceLatencyQuantile(0.5), m.AvgCost(), nil
+}

@@ -1,0 +1,161 @@
+// Real electricity prices: feed an NYISO-format CSV export into the
+// simulator in place of the synthetic price process (the paper drives its
+// simulations with real NYISO hourly prices). The embedded sample below
+// follows the NYISO real-time market export format; point the loader at a
+// downloaded file to reproduce with actual market data:
+//
+//	eotorasim -price-csv nyiso.csv -price-column "LBMP ($/MWHr)"
+//
+// Run with:
+//
+//	go run ./examples/realprices
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"eotora"
+	"eotora/internal/trace"
+)
+
+// nyisoSample is 48 hours in the NYISO real-time export format: a cheap
+// overnight trough, a morning shoulder, and an expensive evening peak.
+const nyisoSample = `Time Stamp,Name,PTID,LBMP ($/MWHr)
+01/01/2026 00:00,N.Y.C.,61761,28.41
+01/01/2026 01:00,N.Y.C.,61761,26.03
+01/01/2026 02:00,N.Y.C.,61761,24.92
+01/01/2026 03:00,N.Y.C.,61761,24.15
+01/01/2026 04:00,N.Y.C.,61761,24.88
+01/01/2026 05:00,N.Y.C.,61761,27.30
+01/01/2026 06:00,N.Y.C.,61761,33.65
+01/01/2026 07:00,N.Y.C.,61761,42.18
+01/01/2026 08:00,N.Y.C.,61761,48.77
+01/01/2026 09:00,N.Y.C.,61761,51.24
+01/01/2026 10:00,N.Y.C.,61761,49.93
+01/01/2026 11:00,N.Y.C.,61761,47.15
+01/01/2026 12:00,N.Y.C.,61761,45.86
+01/01/2026 13:00,N.Y.C.,61761,44.92
+01/01/2026 14:00,N.Y.C.,61761,45.63
+01/01/2026 15:00,N.Y.C.,61761,48.19
+01/01/2026 16:00,N.Y.C.,61761,55.41
+01/01/2026 17:00,N.Y.C.,61761,67.88
+01/01/2026 18:00,N.Y.C.,61761,78.52
+01/01/2026 19:00,N.Y.C.,61761,81.07
+01/01/2026 20:00,N.Y.C.,61761,74.36
+01/01/2026 21:00,N.Y.C.,61761,61.49
+01/01/2026 22:00,N.Y.C.,61761,45.27
+01/01/2026 23:00,N.Y.C.,61761,34.81
+01/02/2026 00:00,N.Y.C.,61761,29.66
+01/02/2026 01:00,N.Y.C.,61761,26.88
+01/02/2026 02:00,N.Y.C.,61761,25.34
+01/02/2026 03:00,N.Y.C.,61761,24.71
+01/02/2026 04:00,N.Y.C.,61761,25.42
+01/02/2026 05:00,N.Y.C.,61761,28.19
+01/02/2026 06:00,N.Y.C.,61761,35.07
+01/02/2026 07:00,N.Y.C.,61761,44.25
+01/02/2026 08:00,N.Y.C.,61761,50.93
+01/02/2026 09:00,N.Y.C.,61761,53.11
+01/02/2026 10:00,N.Y.C.,61761,51.78
+01/02/2026 11:00,N.Y.C.,61761,48.66
+01/02/2026 12:00,N.Y.C.,61761,47.02
+01/02/2026 13:00,N.Y.C.,61761,46.38
+01/02/2026 14:00,N.Y.C.,61761,47.20
+01/02/2026 15:00,N.Y.C.,61761,50.12
+01/02/2026 16:00,N.Y.C.,61761,58.27
+01/02/2026 17:00,N.Y.C.,61761,92.45
+01/02/2026 18:00,N.Y.C.,61761,103.18
+01/02/2026 19:00,N.Y.C.,61761,96.60
+01/02/2026 20:00,N.Y.C.,61761,79.14
+01/02/2026 21:00,N.Y.C.,61761,63.02
+01/02/2026 22:00,N.Y.C.,61761,47.55
+01/02/2026 23:00,N.Y.C.,61761,36.29
+`
+
+func main() {
+	prices, err := trace.LoadPriceCSV(strings.NewReader(nyisoSample), "LBMP ($/MWHr)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d hourly prices (min $%.2f, max $%.2f per MWh)\n\n",
+		len(prices), minPrice(prices), maxPrice(prices))
+
+	sc, err := eotora.NewScenario(eotora.ScenarioOptions{Devices: 20, BudgetFraction: 0.4}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := eotora.DefaultGeneratorConfig()
+	cfg.PriceSeries = prices // replay the real prices cyclically
+	gen, err := sc.Generator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl, err := eotora.NewBDMAController(sc.Sys, 75, 3, 0, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := eotora.Run(ctrl, gen, eotora.SimConfig{Slots: 96, Warmup: 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("budget:            $%.4f per slot\n", m.Budget)
+	fmt.Printf("avg energy cost:   $%.4f per slot (within budget: %v)\n",
+		m.AvgCost(), m.BudgetSatisfied(0.05))
+	fmt.Printf("avg total latency: %.4f s per slot\n", m.AvgLatency())
+
+	// The DVFS response: mean clock in the cheapest vs priciest quartile
+	// of hours.
+	cheapF, pricyF := splitByPrice(m)
+	fmt.Printf("mean processing latency in cheap hours:     %.4f s\n", cheapF)
+	fmt.Printf("mean processing latency in expensive hours: %.4f s\n", pricyF)
+	fmt.Println("\nExpensive real-market hours force lower clocks (higher processing")
+	fmt.Println("latency); the virtual queue spends its slack on cheap hours.")
+}
+
+func minPrice(ps []eotora.Price) float64 {
+	m := ps[0].PerMWh()
+	for _, p := range ps[1:] {
+		if p.PerMWh() < m {
+			m = p.PerMWh()
+		}
+	}
+	return m
+}
+
+func maxPrice(ps []eotora.Price) float64 {
+	m := ps[0].PerMWh()
+	for _, p := range ps[1:] {
+		if p.PerMWh() > m {
+			m = p.PerMWh()
+		}
+	}
+	return m
+}
+
+// splitByPrice returns the mean processing latency during the cheapest and
+// most expensive quartiles of slots.
+func splitByPrice(m *eotora.Metrics) (cheap, pricey float64) {
+	type slot struct{ price, proc float64 }
+	slots := make([]slot, len(m.Price))
+	for i := range m.Price {
+		slots[i] = slot{price: m.Price[i], proc: m.ProcLatency[i]}
+	}
+	// Simple selection by sorting.
+	for i := 1; i < len(slots); i++ {
+		for j := i; j > 0 && slots[j].price < slots[j-1].price; j-- {
+			slots[j], slots[j-1] = slots[j-1], slots[j]
+		}
+	}
+	q := len(slots) / 4
+	if q == 0 {
+		q = 1
+	}
+	var cheapSum, priceySum float64
+	for i := 0; i < q; i++ {
+		cheapSum += slots[i].proc
+		priceySum += slots[len(slots)-1-i].proc
+	}
+	return cheapSum / float64(q), priceySum / float64(q)
+}

@@ -1,0 +1,3 @@
+module eotora
+
+go 1.22

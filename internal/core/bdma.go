@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"eotora/internal/rng"
+	"eotora/internal/trace"
+)
+
+// BDMAConfig parameterizes Algorithm 2.
+type BDMAConfig struct {
+	// Iterations is z, the number of alternating rounds (paper: z = 5 for
+	// the DPP experiments). Zero selects 1, the value used by the
+	// Theorem 3 proof.
+	Iterations int
+	// Solver solves P2-A each round; nil selects CGBA(0).
+	Solver P2ASolver
+}
+
+// BDMAResult is the decision of Algorithm 2 plus solver statistics.
+type BDMAResult struct {
+	// Selection is (x̄_t, ȳ_t).
+	Selection Selection
+	// Freq is Ω̄_t.
+	Freq Frequencies
+	// Objective is f(x̄, ȳ, Ω̄) = V·T_t + Q·Θ.
+	Objective float64
+	// Latency is T_t(x̄, ȳ, Ω̄, β) in seconds summed over devices.
+	Latency float64
+	// Theta is Θ(Ω̄, p_t) = C_t − C̄.
+	Theta float64
+	// SolverIterations accumulates the P2-A solver's iterations across
+	// the z rounds (the Figure 5/6 complexity metric).
+	SolverIterations int
+	// RoomThetas holds the per-room violations Θ_m under the per-room
+	// budget extension (nil in the paper's global-budget mode).
+	RoomThetas map[int]float64
+}
+
+// BDMA runs Algorithm 2, the Benders'-decomposition-motivated alternation:
+// starting from Ω = Ω^L it repeats z times — solve P2-A for (x, y) under
+// the current Ω, then solve P2-B for Ω under the new (x, y) — and returns
+// the best iterate under the P2 objective f = V·T_t + Q·Θ.
+//
+// Theorem 3: the returned decision satisfies
+// V·T(ᾱ) + Q·Θ(Ω̄) ≤ R·V·T(α) + Q·Θ(Ω) for any feasible α, with
+// R = 2.62·R_F/(1−8λ) and R_F = max_n F_n^U/F_n^L.
+func (s *System) BDMA(st *trace.State, v, q float64, cfg BDMAConfig, src *rng.Source) (BDMAResult, error) {
+	if q < 0 || math.IsNaN(q) {
+		return BDMAResult{}, fmt.Errorf("core: BDMA needs Q ≥ 0, got %v", q)
+	}
+	solve := func(sel Selection) (Frequencies, error) {
+		return s.SolveP2B(sel, st, v, q)
+	}
+	objective := func(sel Selection, freq Frequencies) float64 {
+		return s.P2Objective(sel, freq, st, v, q)
+	}
+	best, err := s.bdmaLoop(st, cfg, src, solve, objective)
+	if err != nil {
+		return BDMAResult{}, err
+	}
+	best.Theta = s.Theta(best.Freq, st.Price)
+	return best, nil
+}
+
+// bdmaLoop is the shared alternation body of Algorithm 2, parameterized by
+// the P2-B solver and the P2 objective so the global-budget and per-room
+// variants share one implementation.
+func (s *System) bdmaLoop(
+	st *trace.State,
+	cfg BDMAConfig,
+	src *rng.Source,
+	solveP2B func(Selection) (Frequencies, error),
+	objective func(Selection, Frequencies) float64,
+) (BDMAResult, error) {
+	if err := s.CheckState(st); err != nil {
+		return BDMAResult{}, err
+	}
+	iters := cfg.Iterations
+	if iters <= 0 {
+		iters = 1
+	}
+	p2aSolver := cfg.Solver
+	if p2aSolver == nil {
+		p2aSolver = CGBASolver{}
+	}
+
+	freq := s.LowestFrequencies()
+	best := BDMAResult{Objective: math.Inf(1)}
+	for iter := 0; iter < iters; iter++ {
+		p2a, err := s.NewP2A(st, freq)
+		if err != nil {
+			return BDMAResult{}, fmt.Errorf("core: BDMA round %d: %w", iter, err)
+		}
+		res, err := p2aSolver.Solve(p2a, src)
+		if err != nil {
+			return BDMAResult{}, fmt.Errorf("core: BDMA round %d (%s): %w", iter, p2aSolver.Name(), err)
+		}
+		best.SolverIterations += res.Iterations
+		sel := p2a.Selection(res.Profile)
+
+		freq, err = solveP2B(sel)
+		if err != nil {
+			return BDMAResult{}, fmt.Errorf("core: BDMA round %d: %w", iter, err)
+		}
+
+		if obj := objective(sel, freq); obj < best.Objective {
+			best.Objective = obj
+			best.Selection = sel.Clone()
+			best.Freq = freq.Clone()
+		}
+	}
+	if best.Selection.Station == nil {
+		return BDMAResult{}, errors.New("core: BDMA produced no decision")
+	}
+	best.Latency = s.ReducedLatency(best.Selection, best.Freq, st).Value()
+	return best, nil
+}
+
+// ApproxRatio returns the R of Theorem 3 for this system and λ:
+// R = 2.62·R_F/(1−8λ), with R_F the largest frequency-range ratio.
+func (s *System) ApproxRatio(lambda float64) (float64, error) {
+	if lambda < 0 || lambda >= 0.125 {
+		return 0, fmt.Errorf("core: λ = %v outside [0, 0.125)", lambda)
+	}
+	rf := 0.0
+	for n := range s.Net.Servers {
+		r := float64(s.Net.Servers[n].MaxFreq) / float64(s.Net.Servers[n].MinFreq)
+		if r > rf {
+			rf = r
+		}
+	}
+	return 2.62 * rf / (1 - 8*lambda), nil
+}

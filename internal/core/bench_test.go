@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"eotora/internal/rng"
+	"eotora/internal/topology"
+	"eotora/internal/trace"
+)
+
+func benchSystem(b *testing.B, devices int) (*System, *trace.Generator) {
+	b.Helper()
+	src := rng.New(1)
+	net, err := topology.Generate(topology.DefaultSpec(devices), src.Derive("net"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := DefaultEnergyModels(len(net.Servers), src.Derive("energy"))
+	sys, err := NewSystem(net, models, 3600, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	low := sys.EnergyCost(sys.LowestFrequencies(), 50)
+	high := sys.EnergyCost(sys.HighestFrequencies(), 50)
+	sys.Budget = (low + high) / 2
+	gen, err := trace.NewGenerator(net, trace.DefaultGeneratorConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, gen
+}
+
+func BenchmarkControllerStep(b *testing.B) {
+	for _, devices := range []int{25, 50, 100} {
+		b.Run(fmt.Sprintf("devices=%d", devices), func(b *testing.B) {
+			sys, gen := benchSystem(b, devices)
+			ctrl, err := NewBDMAController(sys, 100, 5, 0, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			states := trace.Record(gen, 32)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ctrl.Step(states[i%len(states)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBDMA(b *testing.B) {
+	sys, gen := benchSystem(b, 100)
+	st := gen.Next()
+	src := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.BDMA(st, 100, 10, BDMAConfig{Iterations: 5}, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNewP2A(b *testing.B) {
+	sys, gen := benchSystem(b, 100)
+	st := gen.Next()
+	freq := sys.LowestFrequencies()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.NewP2A(st, freq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveP2B(b *testing.B) {
+	sys, gen := benchSystem(b, 100)
+	st := gen.Next()
+	sel := feasibleSelection(b, sys, st, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.SolveP2B(sel, st, 100, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReducedLatency(b *testing.B) {
+	sys, gen := benchSystem(b, 100)
+	st := gen.Next()
+	sel := feasibleSelection(b, sys, st, 2)
+	freq := sys.LowestFrequencies()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.ReducedLatency(sel, freq, st)
+	}
+}
+
+func BenchmarkOptimalAllocation(b *testing.B) {
+	sys, gen := benchSystem(b, 100)
+	st := gen.Next()
+	sel := feasibleSelection(b, sys, st, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.OptimalAllocation(sel, st)
+	}
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"eotora/internal/lyapunov"
+	"eotora/internal/rng"
+	"eotora/internal/solver"
+	"eotora/internal/stats"
+	"eotora/internal/trace"
+	"eotora/internal/units"
+)
+
+// ControllerConfig parameterizes Algorithm 1 (the online DPP controller).
+type ControllerConfig struct {
+	// V is the drift-plus-penalty weight (paper: 10–500).
+	V float64
+	// InitialBacklog is Q(1); the paper initializes it to 0.
+	InitialBacklog float64
+	// BDMA configures the per-slot P2 solver (z rounds + P2-A solver).
+	BDMA BDMAConfig
+	// Seed drives the controller's internal randomness (solver starts).
+	Seed int64
+}
+
+// SlotResult records everything Algorithm 1 did in one slot.
+type SlotResult struct {
+	// Slot is the slot index t.
+	Slot int
+	// Decision is the full α_t performed, with the Lemma-1 allocation
+	// materialized.
+	Decision Decision
+	// Latency is T_t, the slot's overall latency (sum over devices).
+	Latency units.Seconds
+	// PerDevice itemizes each device's latency.
+	PerDevice []LatencyBreakdown
+	// EnergyCost is C_t.
+	EnergyCost units.Money
+	// Theta is θ(t) = C_t − C̄.
+	Theta float64
+	// Backlog is Q(t+1), the backlog after this slot's update (the total
+	// across rooms in per-room budget mode).
+	Backlog float64
+	// RoomBacklogs holds the per-room backlogs Q_m(t+1) when the system
+	// uses per-room budgets; nil otherwise.
+	RoomBacklogs map[int]float64
+	// Objective is the P2 objective value of the performed decision.
+	Objective float64
+	// SolverIterations is the P2-A solver work across BDMA rounds.
+	SolverIterations int
+	// Elapsed is the wall-clock decision time for the slot.
+	Elapsed time.Duration
+}
+
+// Controller runs Algorithm 1: at each slot it observes β_t, calls BDMA
+// for (x̄, ȳ, Ω̄), materializes the Lemma-1 allocation, performs the
+// decision, and updates the virtual queue by equation (21).
+//
+// The controller's solver randomness is derived per slot from
+// (Seed, slot), so a controller restored from a Checkpoint continues
+// bit-identically to one that never stopped.
+type Controller struct {
+	sys   *System
+	dpp   *lyapunov.DPP
+	rooms *lyapunov.QueueSet // per-room queues; nil in global-budget mode
+	cfg   ControllerConfig
+	slot  int
+}
+
+// NewController builds a controller over a system. Systems with
+// RoomBudgets set run in per-room budget mode with one virtual queue per
+// room.
+func NewController(sys *System, cfg ControllerConfig) (*Controller, error) {
+	if sys == nil {
+		return nil, errors.New("core: nil system")
+	}
+	dpp, err := lyapunov.NewDPP(cfg.V, cfg.InitialBacklog)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	c := &Controller{
+		sys: sys,
+		dpp: dpp,
+		cfg: cfg,
+	}
+	if sys.RoomBudgets != nil {
+		if err := sys.ValidateRoomBudgets(); err != nil {
+			return nil, err
+		}
+		keys := make([]int, 0, len(sys.Net.Rooms))
+		for _, r := range sys.Net.Rooms {
+			keys = append(keys, r.ID)
+		}
+		c.rooms = lyapunov.NewQueueSet(keys)
+	}
+	return c, nil
+}
+
+// System returns the controller's system.
+func (c *Controller) System() *System { return c.sys }
+
+// Backlog returns the current virtual-queue backlog Q(t) — the total
+// across rooms in per-room budget mode.
+func (c *Controller) Backlog() float64 {
+	if c.rooms != nil {
+		return c.rooms.TotalBacklog()
+	}
+	return c.dpp.Queue.Backlog()
+}
+
+// RoomBacklogs returns the per-room backlogs, or nil in global-budget
+// mode.
+func (c *Controller) RoomBacklogs() map[int]float64 {
+	if c.rooms == nil {
+		return nil
+	}
+	return c.rooms.Backlogs()
+}
+
+// V returns the configured penalty weight.
+func (c *Controller) V() float64 { return c.cfg.V }
+
+// SolverName identifies the P2-A solver driving this controller
+// ("CGBA" for the paper's algorithm, "MCBA"/"ROPT" for baselines).
+func (c *Controller) SolverName() string {
+	if c.cfg.BDMA.Solver == nil {
+		return CGBASolver{}.Name()
+	}
+	return c.cfg.BDMA.Solver.Name()
+}
+
+// Step executes one slot of Algorithm 1 against the observed state.
+func (c *Controller) Step(st *trace.State) (*SlotResult, error) {
+	return c.StepWithObservation(st, st)
+}
+
+// StepWithObservation makes the slot's decision from `observed` — which
+// may be a forecast or a stale reading — but performs and accounts it
+// against `realized`. With observed == realized it is exactly Algorithm 1;
+// with a persistence forecast (observed = last slot's state) it quantifies
+// the value of the paper's assumption that β_t is observed before
+// deciding (cf. the imperfect-estimation setting of [31]).
+//
+// The realized state must be feasible for the chosen selection: a device
+// whose observed coverage disappeared in the realized state yields an
+// error, mirroring a failed handover.
+func (c *Controller) StepWithObservation(observed, realized *trace.State) (*SlotResult, error) {
+	start := time.Now()
+	c.slot++
+	src := rng.New(c.cfg.Seed).Derive(fmt.Sprintf("controller-slot-%d", c.slot))
+
+	var (
+		res BDMAResult
+		err error
+	)
+	if c.rooms != nil {
+		res, err = c.sys.BDMARooms(observed, c.dpp.V, c.rooms.Backlogs(), c.cfg.BDMA, src)
+	} else {
+		res, err = c.sys.BDMA(observed, c.dpp.V, c.dpp.Queue.Backlog(), c.cfg.BDMA, src)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: slot %d: %w", c.slot, err)
+	}
+	if observed != realized {
+		if err := c.sys.Validate(res.Selection, realized); err != nil {
+			return nil, fmt.Errorf("core: slot %d: stale decision infeasible: %w", c.slot, err)
+		}
+		// The violation θ must be re-evaluated at the realized price.
+		if c.rooms != nil {
+			res.RoomThetas = c.sys.RoomThetas(res.Freq, realized.Price)
+			res.Theta = 0
+			for _, theta := range res.RoomThetas {
+				res.Theta += theta
+			}
+		} else {
+			res.Theta = c.sys.Theta(res.Freq, realized.Price)
+		}
+	}
+
+	// Materialize the allocation from the observed state (shares are part
+	// of the decision) and experience it under the realized state.
+	alloc := c.sys.OptimalAllocation(res.Selection, observed)
+	decision := Decision{Selection: res.Selection, Allocation: alloc, Freq: res.Freq}
+	total, perDevice := c.sys.LatencyOf(decision, realized)
+
+	cost := c.sys.EnergyCost(res.Freq, realized.Price)
+	out := &SlotResult{
+		Slot:             c.slot,
+		Decision:         decision,
+		Latency:          total,
+		PerDevice:        perDevice,
+		EnergyCost:       cost,
+		Theta:            res.Theta,
+		Objective:        res.Objective,
+		SolverIterations: res.SolverIterations,
+	}
+	if c.rooms != nil {
+		for room, theta := range res.RoomThetas {
+			c.rooms.Update(room, theta)
+		}
+		out.RoomBacklogs = c.rooms.Backlogs()
+		out.Backlog = c.rooms.TotalBacklog()
+	} else {
+		out.Backlog = c.dpp.Commit(res.Theta)
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// NewBDMAController returns the paper's BDMA-based DPP with CGBA(λ) and z
+// alternating rounds.
+func NewBDMAController(sys *System, v float64, z int, lambda float64, seed int64) (*Controller, error) {
+	return NewController(sys, ControllerConfig{
+		V:    v,
+		BDMA: BDMAConfig{Iterations: z, Solver: CGBASolver{Lambda: lambda}},
+		Seed: seed,
+	})
+}
+
+// NewROPTController returns the ROPT-based DPP baseline: random feasible
+// selections with optimal allocation and P2-B frequencies.
+func NewROPTController(sys *System, v float64, z int, seed int64) (*Controller, error) {
+	return NewController(sys, ControllerConfig{
+		V:    v,
+		BDMA: BDMAConfig{Iterations: z, Solver: RandomSolver{}},
+		Seed: seed,
+	})
+}
+
+// NewMCBAController returns the MCBA-based DPP baseline.
+func NewMCBAController(sys *System, v float64, z int, seed int64) (*Controller, error) {
+	return NewController(sys, ControllerConfig{
+		V:    v,
+		BDMA: BDMAConfig{Iterations: z, Solver: MCBASolver{}},
+		Seed: seed,
+	})
+}
+
+// Split returns the slot's total communication (access + fronthaul) and
+// processing latency across devices.
+func (r *SlotResult) Split() (comm, proc units.Seconds) {
+	for _, lb := range r.PerDevice {
+		comm += lb.Access + lb.Fronthaul
+		proc += lb.Processing
+	}
+	return comm, proc
+}
+
+// Fairness returns Jain's fairness index over the per-device latencies:
+// 1 when every device experiences the same latency. The square-root
+// allocation of Lemma 1 equalizes weighted shares, not raw latencies, so
+// values below 1 are expected and reflect the heterogeneity of tasks and
+// channels.
+func (r *SlotResult) Fairness() float64 {
+	lat := make([]float64, len(r.PerDevice))
+	for i, lb := range r.PerDevice {
+		lat[i] = lb.Total().Value()
+	}
+	return stats.JainIndex(lat)
+}
+
+// NewOptimalController returns a DPP controller that solves P2-A by
+// branch-and-bound each slot — the near-optimal reference of equation
+// (30): when the per-slot solver is optimal, DPP achieves ρ* + B·D/V.
+// With zero budgets in cfg it is exact but can be very slow; budgets make
+// it a best-effort upper baseline.
+func NewOptimalController(sys *System, v float64, z int, cfg solver.BnBConfig, seed int64) (*Controller, error) {
+	return NewController(sys, ControllerConfig{
+		V:    v,
+		BDMA: BDMAConfig{Iterations: z, Solver: OptimalSolver{Config: cfg}},
+		Seed: seed,
+	})
+}

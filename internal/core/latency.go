@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+
+	"eotora/internal/trace"
+	"eotora/internal/units"
+)
+
+// OptimalAllocation computes the closed-form optimal resource shares of
+// Lemma 1 (equations (15)–(17)): square-root-proportional fair shares of
+// each station's access and fronthaul bandwidth and each server's
+// computing capability among the devices that selected them.
+//
+// The selection must already be valid; the shares of devices sharing a
+// resource sum to exactly 1, which saturates constraints (4)–(6) as the
+// KKT conditions require.
+func (s *System) OptimalAllocation(sel Selection, st *trace.State) Allocation {
+	devices := len(sel.Station)
+	a := Allocation{
+		AccessShare:    make([]float64, devices),
+		FronthaulShare: make([]float64, devices),
+		ComputeShare:   make([]float64, devices),
+	}
+
+	// Per-station and per-server denominators: Σ_j √(d_j/h_j), Σ_j √(f_j/σ_j).
+	accessDen := make([]float64, len(s.Net.BaseStations))
+	fronthaulDen := make([]float64, len(s.Net.BaseStations))
+	computeDen := make([]float64, len(s.Net.Servers))
+	for i := 0; i < devices; i++ {
+		k, n := sel.Station[i], sel.Server[i]
+		accessDen[k] += math.Sqrt(st.DataLengths[i].Bits() / st.Channels[i][k].BpsPerHz())
+		fronthaulDen[k] += math.Sqrt(st.DataLengths[i].Bits() / st.FronthaulSE[k].BpsPerHz())
+		computeDen[n] += math.Sqrt(st.TaskSizes[i].Count() / s.Net.Suitability[i][n])
+	}
+	for i := 0; i < devices; i++ {
+		k, n := sel.Station[i], sel.Server[i]
+		if accessDen[k] > 0 {
+			a.AccessShare[i] = math.Sqrt(st.DataLengths[i].Bits()/st.Channels[i][k].BpsPerHz()) / accessDen[k]
+		}
+		if fronthaulDen[k] > 0 {
+			a.FronthaulShare[i] = math.Sqrt(st.DataLengths[i].Bits()/st.FronthaulSE[k].BpsPerHz()) / fronthaulDen[k]
+		}
+		if computeDen[n] > 0 {
+			a.ComputeShare[i] = math.Sqrt(st.TaskSizes[i].Count()/s.Net.Suitability[i][n]) / computeDen[n]
+		}
+	}
+	return a
+}
+
+// LatencyBreakdown itemizes one device's slot latency.
+type LatencyBreakdown struct {
+	// Access is L^{C,A}_i: upload time over the cellular access link.
+	Access units.Seconds
+	// Fronthaul is L^{C,F}_i: forwarding time over the fronthaul link.
+	Fronthaul units.Seconds
+	// Processing is L^P_i: execution time on the selected server.
+	Processing units.Seconds
+}
+
+// Total returns the device's full latency.
+func (l LatencyBreakdown) Total() units.Seconds {
+	return l.Access + l.Fronthaul + l.Processing
+}
+
+// LatencyOf evaluates the overall latency L_t(α_t, β_t) of equations
+// (7)–(11) under an arbitrary (not necessarily optimal) allocation. A zero
+// share yields an infinite component, matching the formulation's implicit
+// requirement that selected devices receive positive shares.
+func (s *System) LatencyOf(d Decision, st *trace.State) (total units.Seconds, perDevice []LatencyBreakdown) {
+	devices := len(d.Station)
+	perDevice = make([]LatencyBreakdown, devices)
+	for i := 0; i < devices; i++ {
+		k, n := d.Station[i], d.Server[i]
+		bs := &s.Net.BaseStations[k]
+		srv := &s.Net.Servers[n]
+
+		accessRate := st.Channels[i][k].Rate(units.Frequency(float64(bs.AccessBandwidth) * d.AccessShare[i]))
+		fronthaulRate := st.FronthaulSE[k].Rate(units.Frequency(float64(bs.FronthaulBandwidth) * d.FronthaulShare[i]))
+		capacity := srv.Capacity(d.Freq[n])
+		effective := units.Frequency(float64(capacity) * s.Net.Suitability[i][n] * d.ComputeShare[i])
+
+		perDevice[i] = LatencyBreakdown{
+			Access:     units.TransmitTime(st.DataLengths[i], accessRate),
+			Fronthaul:  units.TransmitTime(st.DataLengths[i], fronthaulRate),
+			Processing: units.ProcessTime(st.TaskSizes[i], effective),
+		}
+		total += perDevice[i].Total()
+	}
+	return total, perDevice
+}
+
+// ReducedLatency evaluates T_t(x, y, Ω, β) of equation (20): the overall
+// latency under the Lemma-1 optimal allocation, computed directly from the
+// closed forms (18) and (19) without materializing the shares:
+//
+//	T^P = Σ_n (Σ_{i→n} √(f_i/σ_{i,n}))² / ω_n
+//	T^C = Σ_k (Σ_{i→k} √(d_i/h_{i,k}))² / W^A_k
+//	    + Σ_k (Σ_{i→k} √(d_i/h^F_k))² / W^F_k
+//
+// where ω_n is the server's aggregate capacity at its per-core frequency.
+func (s *System) ReducedLatency(sel Selection, freq Frequencies, st *trace.State) units.Seconds {
+	accessSum := make([]float64, len(s.Net.BaseStations))
+	fronthaulSum := make([]float64, len(s.Net.BaseStations))
+	computeSum := make([]float64, len(s.Net.Servers))
+	for i := range sel.Station {
+		k, n := sel.Station[i], sel.Server[i]
+		accessSum[k] += math.Sqrt(st.DataLengths[i].Bits() / st.Channels[i][k].BpsPerHz())
+		fronthaulSum[k] += math.Sqrt(st.DataLengths[i].Bits() / st.FronthaulSE[k].BpsPerHz())
+		computeSum[n] += math.Sqrt(st.TaskSizes[i].Count() / s.Net.Suitability[i][n])
+	}
+	total := 0.0
+	for k, bs := range s.Net.BaseStations {
+		total += accessSum[k] * accessSum[k] / bs.AccessBandwidth.Hertz()
+		total += fronthaulSum[k] * fronthaulSum[k] / bs.FronthaulBandwidth.Hertz()
+	}
+	for n := range s.Net.Servers {
+		if computeSum[n] == 0 {
+			continue
+		}
+		total += computeSum[n] * computeSum[n] / s.Net.Servers[n].Capacity(freq[n]).Hertz()
+	}
+	return units.Seconds(total)
+}
+
+// EnergyCost evaluates C_t(Ω_t, p_t) of equation (13): the slot's total
+// energy cost across servers at the given per-core frequencies and price.
+func (s *System) EnergyCost(freq Frequencies, price units.Price) units.Money {
+	total := units.Money(0)
+	for n := range s.Net.Servers {
+		e := units.Over(
+			units.Power(s.Energy[n].Power(freq[n]).Watts()*float64(s.Net.Servers[n].Cores)),
+			units.Seconds(s.SlotSeconds),
+		)
+		total += price.Cost(e)
+	}
+	return total
+}
+
+// Theta evaluates θ(t) = C_t − C̄, the slot's budget violation.
+func (s *System) Theta(freq Frequencies, price units.Price) float64 {
+	return float64(s.EnergyCost(freq, price) - s.Budget)
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"eotora/internal/rng"
+	"eotora/internal/trace"
+	"eotora/internal/units"
+)
+
+// Per-room budgets are an extension beyond the paper's single time-average
+// constraint: each edge-server room m carries its own budget C̄_m with its
+// own virtual queue Q_m, the standard multi-constraint generalization of
+// the drift-plus-penalty framework (Neely [30], Ch. 4). Enable it by
+// setting System.RoomBudgets; the controller then drives every room's
+// average energy cost under its own cap.
+
+// ValidateRoomBudgets checks that every budgeted room exists and every
+// budget is non-negative.
+func (s *System) ValidateRoomBudgets() error {
+	if s.RoomBudgets == nil {
+		return nil
+	}
+	known := make(map[int]bool, len(s.Net.Rooms))
+	for _, r := range s.Net.Rooms {
+		known[r.ID] = true
+	}
+	for room, budget := range s.RoomBudgets {
+		if !known[room] {
+			return fmt.Errorf("core: budget for unknown room %d", room)
+		}
+		if budget < 0 {
+			return fmt.Errorf("core: negative budget %v for room %d", budget, room)
+		}
+	}
+	for _, r := range s.Net.Rooms {
+		if _, ok := s.RoomBudgets[r.ID]; !ok {
+			return fmt.Errorf("core: room %d has no budget (all rooms need one in per-room mode)", r.ID)
+		}
+	}
+	return nil
+}
+
+// RoomEnergyCosts returns each room's slot energy cost at the given
+// frequencies and price.
+func (s *System) RoomEnergyCosts(freq Frequencies, price units.Price) map[int]units.Money {
+	out := make(map[int]units.Money, len(s.Net.Rooms))
+	for n := range s.Net.Servers {
+		srv := &s.Net.Servers[n]
+		e := units.Over(
+			units.Power(s.Energy[n].Power(freq[n]).Watts()*float64(srv.Cores)),
+			units.Seconds(s.SlotSeconds),
+		)
+		out[srv.Room] += price.Cost(e)
+	}
+	return out
+}
+
+// RoomThetas returns θ_m(t) = C_{m,t} − C̄_m for every budgeted room.
+func (s *System) RoomThetas(freq Frequencies, price units.Price) map[int]float64 {
+	costs := s.RoomEnergyCosts(freq, price)
+	out := make(map[int]float64, len(costs))
+	for room, cost := range costs {
+		out[room] = float64(cost - s.RoomBudgets[room])
+	}
+	return out
+}
+
+// SolveP2BPerRoom solves P2-B with one queue weight per room: server n's
+// energy term is weighted by qByRoom of its hosting room.
+func (s *System) SolveP2BPerRoom(sel Selection, st *trace.State, v float64, qByRoom map[int]float64) (Frequencies, error) {
+	qOf := func(n int) float64 { return qByRoom[s.Net.Servers[n].Room] }
+	return s.solveP2B(sel, st, v, qOf)
+}
+
+// P2ObjectiveRooms evaluates V·T_t + Σ_m Q_m·Θ_m for a candidate decision.
+func (s *System) P2ObjectiveRooms(sel Selection, freq Frequencies, st *trace.State, v float64, qByRoom map[int]float64) float64 {
+	penalty := 0.0
+	for room, theta := range s.RoomThetas(freq, st.Price) {
+		penalty += qByRoom[room] * theta
+	}
+	return v*s.ReducedLatency(sel, freq, st).Value() + penalty
+}
+
+// BDMARooms runs Algorithm 2 under per-room budgets: the alternation is
+// identical, but P2-B weighs each server's energy by its room's queue and
+// the objective sums the per-room drift terms.
+func (s *System) BDMARooms(st *trace.State, v float64, qByRoom map[int]float64, cfg BDMAConfig, src *rng.Source) (BDMAResult, error) {
+	if err := s.ValidateRoomBudgets(); err != nil {
+		return BDMAResult{}, err
+	}
+	if s.RoomBudgets == nil {
+		return BDMAResult{}, fmt.Errorf("core: BDMARooms on a system without RoomBudgets")
+	}
+	for room, q := range qByRoom {
+		if q < 0 || math.IsNaN(q) {
+			return BDMAResult{}, fmt.Errorf("core: negative queue weight %v for room %d", q, room)
+		}
+	}
+	solve := func(sel Selection) (Frequencies, error) {
+		return s.SolveP2BPerRoom(sel, st, v, qByRoom)
+	}
+	objective := func(sel Selection, freq Frequencies) float64 {
+		return s.P2ObjectiveRooms(sel, freq, st, v, qByRoom)
+	}
+	res, err := s.bdmaLoop(st, cfg, src, solve, objective)
+	if err != nil {
+		return BDMAResult{}, err
+	}
+	res.RoomThetas = s.RoomThetas(res.Freq, st.Price)
+	// The scalar Theta reports the aggregate violation for logging.
+	res.Theta = 0
+	for _, theta := range res.RoomThetas {
+		res.Theta += theta
+	}
+	return res, nil
+}

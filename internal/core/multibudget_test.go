@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"eotora/internal/units"
+)
+
+// withRoomBudgets converts a test system to per-room budgets at the given
+// fractions of each room's [F^L, F^U] cost range at the reference price.
+func withRoomBudgets(t *testing.T, sys *System, fracs map[int]float64) {
+	t.Helper()
+	ref := units.Price(50)
+	lows := sys.RoomEnergyCosts(sys.LowestFrequencies(), ref)
+	highs := sys.RoomEnergyCosts(sys.HighestFrequencies(), ref)
+	budgets := make(map[int]units.Money, len(fracs))
+	for room, frac := range fracs {
+		budgets[room] = lows[room] + units.Money(frac*float64(highs[room]-lows[room]))
+	}
+	sys.RoomBudgets = budgets
+}
+
+func TestRoomEnergyCostsSumToTotal(t *testing.T) {
+	sys, _ := buildSystem(t, 10, 50)
+	freq := sys.HighestFrequencies()
+	rooms := sys.RoomEnergyCosts(freq, 60)
+	var sum units.Money
+	for _, c := range rooms {
+		sum += c
+	}
+	total := sys.EnergyCost(freq, 60)
+	if math.Abs(float64(sum-total)) > 1e-9*float64(total) {
+		t.Errorf("room costs sum %v ≠ total %v", sum, total)
+	}
+	if len(rooms) != len(sys.Net.Rooms) {
+		t.Errorf("rooms in cost map = %d, want %d", len(rooms), len(sys.Net.Rooms))
+	}
+}
+
+func TestValidateRoomBudgets(t *testing.T) {
+	sys, _ := buildSystem(t, 5, 51)
+	if err := sys.ValidateRoomBudgets(); err != nil {
+		t.Errorf("nil budgets rejected: %v", err)
+	}
+	sys.RoomBudgets = map[int]units.Money{99: 1}
+	if err := sys.ValidateRoomBudgets(); err == nil {
+		t.Error("unknown room accepted")
+	}
+	sys.RoomBudgets = map[int]units.Money{0: -1, 1: 1}
+	if err := sys.ValidateRoomBudgets(); err == nil {
+		t.Error("negative budget accepted")
+	}
+	sys.RoomBudgets = map[int]units.Money{0: 1} // room 1 missing
+	if err := sys.ValidateRoomBudgets(); err == nil {
+		t.Error("partial budgets accepted")
+	}
+	withRoomBudgets(t, sys, map[int]float64{0: 0.5, 1: 0.5})
+	if err := sys.ValidateRoomBudgets(); err != nil {
+		t.Errorf("valid budgets rejected: %v", err)
+	}
+}
+
+func TestBDMARoomsValidation(t *testing.T) {
+	sys, gen := buildSystem(t, 5, 52)
+	st := gen.Next()
+	if _, err := sys.BDMARooms(st, 50, map[int]float64{0: 1, 1: 1}, BDMAConfig{}, nil); err == nil {
+		t.Error("BDMARooms without RoomBudgets accepted")
+	}
+	withRoomBudgets(t, sys, map[int]float64{0: 0.5, 1: 0.5})
+	if _, err := sys.BDMARooms(st, 50, map[int]float64{0: -1, 1: 1}, BDMAConfig{}, nil); err == nil {
+		t.Error("negative queue weight accepted")
+	}
+}
+
+func TestSolveP2BPerRoomPressure(t *testing.T) {
+	// A room under heavy queue pressure must run lower frequencies than a
+	// free room.
+	sys, gen := buildSystem(t, 12, 53)
+	withRoomBudgets(t, sys, map[int]float64{0: 0.5, 1: 0.5})
+	st := gen.Next()
+	sel := feasibleSelection(t, sys, st, 1)
+	freq, err := sys.SolveP2BPerRoom(sel, st, 50, map[int]float64{0: 1e9, 1: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := make(map[int]bool)
+	for _, n := range sel.Server {
+		loaded[n] = true
+	}
+	for n := range sys.Net.Servers {
+		srv := &sys.Net.Servers[n]
+		switch srv.Room {
+		case 0: // crushing pressure → F^L
+			if math.Abs(float64(freq[n]-srv.MinFreq)) > 1e6 {
+				t.Errorf("pressured room server %d at %v, want F^L", n, freq[n])
+			}
+		case 1: // free energy → loaded servers at F^U
+			if loaded[n] && math.Abs(float64(freq[n]-srv.MaxFreq)) > 1e6 {
+				t.Errorf("free room server %d at %v, want F^U", n, freq[n])
+			}
+		}
+	}
+}
+
+func TestMultiBudgetControllerMeetsPerRoomBudgets(t *testing.T) {
+	sys, gen := buildSystem(t, 12, 54)
+	// Asymmetric budgets: room 0 tight, room 1 loose.
+	withRoomBudgets(t, sys, map[int]float64{0: 0.2, 1: 0.8})
+	ctrl, err := NewBDMAController(sys, 100, 2, 0, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roomCosts := make(map[int]float64)
+	const slots = 150
+	for s := 0; s < slots; s++ {
+		st := gen.Next()
+		res, err := ctrl.Step(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RoomBacklogs == nil {
+			t.Fatal("per-room mode did not report room backlogs")
+		}
+		for room, c := range sys.RoomEnergyCosts(res.Decision.Freq, st.Price) {
+			roomCosts[room] += c.Dollars()
+		}
+		if res.Backlog < 0 {
+			t.Fatal("negative total backlog")
+		}
+	}
+	for room, budget := range sys.RoomBudgets {
+		avg := roomCosts[room] / slots
+		// Asymptotic constraint; allow 25% slack at 150 slots.
+		if avg > budget.Dollars()*1.25 {
+			t.Errorf("room %d average cost $%v far above budget $%v", room, avg, budget.Dollars())
+		}
+	}
+	if ctrl.RoomBacklogs() == nil {
+		t.Error("controller does not expose room backlogs")
+	}
+}
+
+func TestMultiBudgetCheckpointRoundtrip(t *testing.T) {
+	sysA, genA := buildSystem(t, 8, 55)
+	withRoomBudgets(t, sysA, map[int]float64{0: 0.4, 1: 0.6})
+	straight, err := NewBDMAController(sysA, 75, 1, 0, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []float64
+	for s := 0; s < 12; s++ {
+		res, err := straight.Step(genA.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res.Latency.Value(), res.Backlog)
+	}
+
+	sysB, genB := buildSystem(t, 8, 55)
+	withRoomBudgets(t, sysB, map[int]float64{0: 0.4, 1: 0.6})
+	first, err := NewBDMAController(sysB, 75, 1, 0, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []float64
+	for s := 0; s < 6; s++ {
+		res, err := first.Step(genB.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, res.Latency.Value(), res.Backlog)
+	}
+	cp := first.Checkpoint()
+	if cp.RoomBacklogs == nil {
+		t.Fatal("multi-mode checkpoint lacks room backlogs")
+	}
+	resumed, err := NewBDMAController(sysB, 75, 1, 0, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 6; s++ {
+		res, err := resumed.Step(genB.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, res.Latency.Value(), res.Backlog)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("multi-budget resume diverged at element %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	// Mode mismatch: a scalar controller must reject a multi checkpoint.
+	scalarSys, _ := buildSystem(t, 8, 55)
+	scalar, err := NewBDMAController(scalarSys, 75, 1, 0, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scalar.Restore(cp); err == nil {
+		t.Error("scalar controller accepted multi-budget checkpoint")
+	}
+}
+
+func TestTightRoomRunsCoolerThanLooseRoom(t *testing.T) {
+	// Under asymmetric budgets the tight room's average frequency must be
+	// lower than the loose room's.
+	sys, gen := buildSystem(t, 12, 56)
+	withRoomBudgets(t, sys, map[int]float64{0: 0.1, 1: 0.9})
+	ctrl, err := NewBDMAController(sys, 100, 2, 0, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make(map[int]float64)
+	counts := make(map[int]int)
+	const slots = 100
+	for s := 0; s < slots; s++ {
+		res, err := ctrl.Step(gen.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n, f := range res.Decision.Freq {
+			room := sys.Net.Servers[n].Room
+			sums[room] += f.GigaHertz()
+			counts[room]++
+		}
+	}
+	tight := sums[0] / float64(counts[0])
+	loose := sums[1] / float64(counts[1])
+	if tight >= loose {
+		t.Errorf("tight room mean clock %.3f GHz not below loose room %.3f GHz", tight, loose)
+	}
+}

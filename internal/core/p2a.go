@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"eotora/internal/game"
+	"eotora/internal/rng"
+	"eotora/internal/solver"
+	"eotora/internal/topology"
+	"eotora/internal/trace"
+)
+
+// P2A is the per-slot binary subproblem (P2-A) posed as a weighted
+// congestion game: minimize T_t(x, y, Ω, β) over the (station, server)
+// choices for fixed frequencies Ω. It owns the mapping between game
+// strategies and (station, server) pairs.
+type P2A struct {
+	game  *game.Game
+	pairs [][]topology.Pair // [device][strategy] → (station, server)
+}
+
+// resource indexing inside the game:
+//
+//	[0, N)            compute resources C_n with weight 1/ω_n (capacity),
+//	[N, N+K)          access links B_k^A with weight 1/W_k^A,
+//	[N+K, N+2K)       fronthaul links B_k^F with weight 1/W_k^F.
+func (s *System) resourceWeights(freq Frequencies) []float64 {
+	servers := len(s.Net.Servers)
+	stations := len(s.Net.BaseStations)
+	weights := make([]float64, servers+2*stations)
+	for n := 0; n < servers; n++ {
+		weights[n] = 1 / s.Net.Servers[n].Capacity(freq[n]).Hertz()
+	}
+	for k := 0; k < stations; k++ {
+		weights[servers+k] = 1 / s.Net.BaseStations[k].AccessBandwidth.Hertz()
+		weights[servers+stations+k] = 1 / s.Net.BaseStations[k].FronthaulBandwidth.Hertz()
+	}
+	return weights
+}
+
+// NewP2A builds the congestion game for a slot: player i's strategies are
+// the feasible (station, server) pairs under the current coverage (h > 0)
+// and fronthaul connectivity; the player-resource weights are
+//
+//	p_{i,C_n}   = √(f_i/σ_{i,n})    (corrected from the paper's √(f/ω) typo,
+//	                                 consistent with equation (18)),
+//	p_{i,B_k^A} = √(d_i/h_{i,k}),
+//	p_{i,B_k^F} = √(d_i/h_k^F).
+func (s *System) NewP2A(st *trace.State, freq Frequencies) (*P2A, error) {
+	if err := s.CheckState(st); err != nil {
+		return nil, err
+	}
+	if err := s.ValidateFrequencies(freq); err != nil {
+		return nil, err
+	}
+	servers := len(s.Net.Servers)
+	stations := len(s.Net.BaseStations)
+	_, _, _, devices := s.Net.Counts()
+
+	strategies := make([][][]game.Use, devices)
+	pairs := make([][]topology.Pair, devices)
+	for i := 0; i < devices; i++ {
+		for k := 0; k < stations; k++ {
+			if !st.Covered(i, k) {
+				continue
+			}
+			accessW := math.Sqrt(st.DataLengths[i].Bits() / st.Channels[i][k].BpsPerHz())
+			fronthaulW := math.Sqrt(st.DataLengths[i].Bits() / st.FronthaulSE[k].BpsPerHz())
+			for _, n := range s.Net.ReachableServers(k) {
+				computeW := math.Sqrt(st.TaskSizes[i].Count() / s.Net.Suitability[i][n])
+				// A zero weight means the device exerts no load on that
+				// resource (f = 0 reduces EOTO to the pure-communication
+				// P1 problem); omit the use rather than inject a zero the
+				// game model rejects.
+				uses := make([]game.Use, 0, 3)
+				if computeW > 0 {
+					uses = append(uses, game.Use{Resource: n, Weight: computeW})
+				}
+				if accessW > 0 {
+					uses = append(uses, game.Use{Resource: servers + k, Weight: accessW})
+				}
+				if fronthaulW > 0 {
+					uses = append(uses, game.Use{Resource: servers + stations + k, Weight: fronthaulW})
+				}
+				if len(uses) == 0 {
+					// f = d = 0: the device is a no-op this slot and is
+					// indifferent between pairs; pin a negligible access
+					// load to keep the strategy well-formed.
+					uses = append(uses, game.Use{Resource: servers + k, Weight: math.SmallestNonzeroFloat64})
+				}
+				strategies[i] = append(strategies[i], uses)
+				pairs[i] = append(pairs[i], topology.Pair{Station: k, Server: n})
+			}
+		}
+		if len(strategies[i]) == 0 {
+			return nil, fmt.Errorf("core: device %d has no feasible (station, server) pair this slot", i)
+		}
+	}
+	g, err := game.New(s.resourceWeights(freq), strategies)
+	if err != nil {
+		return nil, fmt.Errorf("core: building P2-A game: %w", err)
+	}
+	return &P2A{game: g, pairs: pairs}, nil
+}
+
+// Game exposes the underlying congestion game.
+func (p *P2A) Game() *game.Game { return p.game }
+
+// Selection converts a game profile into per-device (station, server)
+// choices.
+func (p *P2A) Selection(profile game.Profile) Selection {
+	sel := Selection{
+		Station: make([]int, len(profile)),
+		Server:  make([]int, len(profile)),
+	}
+	for i, sIdx := range profile {
+		pair := p.pairs[i][sIdx]
+		sel.Station[i] = pair.Station
+		sel.Server[i] = pair.Server
+	}
+	return sel
+}
+
+// Profile converts a selection back into a game profile; it returns an
+// error when a device's (station, server) pair is not among its feasible
+// strategies.
+func (p *P2A) Profile(sel Selection) (game.Profile, error) {
+	profile := make(game.Profile, len(p.pairs))
+	for i := range p.pairs {
+		found := -1
+		for sIdx, pair := range p.pairs[i] {
+			if pair.Station == sel.Station[i] && pair.Server == sel.Server[i] {
+				found = sIdx
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("core: device %d pair (%d, %d) infeasible", i, sel.Station[i], sel.Server[i])
+		}
+		profile[i] = found
+	}
+	return profile, nil
+}
+
+// P2ASolver produces a selection for a P2-A instance. Implementations are
+// the paper's CGBA and the evaluation's baselines.
+type P2ASolver interface {
+	// Name identifies the solver in reports ("CGBA", "MCBA", "ROPT", "OPT").
+	Name() string
+	// Solve returns the chosen profile and solver statistics.
+	Solve(p *P2A, src *rng.Source) (game.Result, error)
+}
+
+// CGBASolver is the paper's Algorithm 3.
+type CGBASolver struct {
+	// Lambda is the λ tolerance in [0, 0.125).
+	Lambda float64
+	// MaxIterations caps the best-response loop (0 = generous default).
+	MaxIterations int
+	// Pivot selects the mover rule; the zero value is the paper's
+	// max-improvement rule.
+	Pivot game.PivotRule
+}
+
+var _ P2ASolver = CGBASolver{}
+
+// Name implements P2ASolver.
+func (c CGBASolver) Name() string { return "CGBA" }
+
+// Solve implements P2ASolver.
+func (c CGBASolver) Solve(p *P2A, src *rng.Source) (game.Result, error) {
+	return game.CGBA(p.game, game.CGBAConfig{
+		Lambda:        c.Lambda,
+		MaxIterations: c.MaxIterations,
+		Pivot:         c.Pivot,
+	}, src)
+}
+
+// MCBASolver is the Markov chain Monte Carlo baseline [36].
+type MCBASolver struct {
+	Config game.MCBAConfig
+}
+
+var _ P2ASolver = MCBASolver{}
+
+// Name implements P2ASolver.
+func (m MCBASolver) Name() string { return "MCBA" }
+
+// Solve implements P2ASolver.
+func (m MCBASolver) Solve(p *P2A, src *rng.Source) (game.Result, error) {
+	return game.MCBA(p.game, m.Config, src)
+}
+
+// RandomSolver is the selection step of the ROPT baseline: uniformly
+// random feasible choices (the optimal Lemma-1 allocation is applied on
+// top by the controller).
+type RandomSolver struct{}
+
+var _ P2ASolver = RandomSolver{}
+
+// Name implements P2ASolver.
+func (RandomSolver) Name() string { return "ROPT" }
+
+// Solve implements P2ASolver.
+func (RandomSolver) Solve(p *P2A, src *rng.Source) (game.Result, error) {
+	return game.RandomProfile(p.game, src), nil
+}
+
+// OptimalSolver is the exact branch-and-bound baseline standing in for the
+// paper's Gurobi runs. With zero budgets the result is provably optimal;
+// with budgets it reports the best incumbent (warm-started by CGBA).
+type OptimalSolver struct {
+	Config solver.BnBConfig
+}
+
+var _ P2ASolver = OptimalSolver{}
+
+// Name implements P2ASolver.
+func (OptimalSolver) Name() string { return "OPT" }
+
+// Solve implements P2ASolver.
+func (o OptimalSolver) Solve(p *P2A, src *rng.Source) (game.Result, error) {
+	res, _, err := game.Optimal(p.game, o.Config, src)
+	return res, err
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"eotora/internal/solver"
+	"eotora/internal/trace"
+	"eotora/internal/units"
+)
+
+// SolveP2B solves the continuous subproblem P2-B: for fixed (x, y) it
+// minimizes
+//
+//	V·T_t(x̄, ȳ, Ω, β) + Q(t)·Θ(Ω, p_t)
+//
+// over Ω with ω_n ∈ [F_n^L, F_n^U]. The paper hands this to the CVX
+// convex solver; here we exploit that the objective separates per server:
+//
+//	min_{ω_n}  V·A_n/(cores_n·ω_n) + Q·p_t·cores_n·g_n(ω_n)·slot,
+//
+// with A_n = (Σ_{i→n} √(f_i/σ_{i,n}))², a strictly convex 1-D problem per
+// server (decreasing hyperbola plus convex increasing energy term) solved
+// by guaranteed golden-section search. The −C̄ part of Θ is constant in Ω
+// and therefore dropped inside the minimization.
+func (s *System) SolveP2B(sel Selection, st *trace.State, v, q float64) (Frequencies, error) {
+	if q < 0 || math.IsNaN(q) {
+		return nil, fmt.Errorf("core: P2-B needs Q ≥ 0, got %v", q)
+	}
+	return s.solveP2B(sel, st, v, func(int) float64 { return q })
+}
+
+// solveP2B is the shared per-server convex solve; qOf supplies the queue
+// weight applied to each server's energy term (constant for the paper's
+// global budget, per-room for the multi-budget extension).
+func (s *System) solveP2B(sel Selection, st *trace.State, v float64, qOf func(server int) float64) (Frequencies, error) {
+	if !(v > 0) {
+		return nil, fmt.Errorf("core: P2-B needs V > 0, got %v", v)
+	}
+	servers := len(s.Net.Servers)
+
+	// A_n = (Σ_{i→n} √(f_i/σ_{i,n}))².
+	computeSum := make([]float64, servers)
+	for i := range sel.Server {
+		n := sel.Server[i]
+		computeSum[n] += math.Sqrt(st.TaskSizes[i].Count() / s.Net.Suitability[i][n])
+	}
+
+	freq := make(Frequencies, servers)
+	for n := 0; n < servers; n++ {
+		srv := &s.Net.Servers[n]
+		a := computeSum[n] * computeSum[n]
+		cores := float64(srv.Cores)
+		model := s.Energy[n]
+		q := qOf(n)
+		obj := func(w float64) float64 {
+			latency := 0.0
+			if a > 0 {
+				latency = a / (cores * w)
+			}
+			e := units.Over(units.Power(model.Power(units.Frequency(w)).Watts()*cores), units.Seconds(s.SlotSeconds))
+			return v*latency + q*float64(st.Price.Cost(e))
+		}
+		// With no load and Q = 0 the objective is flat; golden section
+		// still returns a boundary point, conventionally F^L.
+		if a == 0 && q == 0 {
+			freq[n] = srv.MinFreq
+			continue
+		}
+		w, _, err := solver.Minimize1D(obj, srv.MinFreq.Hertz(), srv.MaxFreq.Hertz(), 1e3)
+		if err != nil {
+			return nil, fmt.Errorf("core: P2-B server %d: %w", n, err)
+		}
+		freq[n] = units.Frequency(w)
+	}
+	return freq, nil
+}
+
+// P2Objective evaluates the P2 objective f(x, y, Ω) = V·T_t + Q·Θ for a
+// candidate decision.
+func (s *System) P2Objective(sel Selection, freq Frequencies, st *trace.State, v, q float64) float64 {
+	return v*s.ReducedLatency(sel, freq, st).Value() + q*s.Theta(freq, st.Price)
+}

@@ -1,0 +1,21 @@
+package energy_test
+
+import (
+	"fmt"
+
+	"eotora/internal/energy"
+	"eotora/internal/units"
+)
+
+// ExampleFitI7Quadratic reproduces the paper's Figure 3 pipeline: fit the
+// measured i7-3770K power samples with a quadratic, then derive per-server
+// variants.
+func ExampleFitI7Quadratic() {
+	fit, rmse := energy.FitI7Quadratic()
+	fmt.Printf("P(ω) = %.2f·ω² %+.2f·ω %+.2f  (RMSE %.3f W)\n", fit.A, fit.B, fit.C, rmse)
+	server := fit.Perturb(0.5) // e = +0.5σ draw
+	fmt.Printf("perturbed server at 3 GHz: %.1f W/core\n", server.Power(3*units.GHz).Watts())
+	// Output:
+	// P(ω) = 2.13·ω² -3.72·ω +7.92  (RMSE 0.035 W)
+	// perturbed server at 3 GHz: 15.9 W/core
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"eotora/internal/energy"
+	"eotora/internal/rng"
+	"eotora/internal/stats"
+	"eotora/internal/trace"
+	"eotora/internal/units"
+)
+
+// Fig2Config parameterizes the input-trace figure.
+type Fig2Config struct {
+	// Days of hourly samples to plot (paper shows about two weeks).
+	Days int
+	// Devices drives the workload aggregate.
+	Devices int
+	// Seed controls the synthetic processes.
+	Seed int64
+}
+
+// DefaultFig2Config mirrors the paper's two-week window.
+func DefaultFig2Config() Fig2Config { return Fig2Config{Days: 14, Devices: 100, Seed: 1} }
+
+// Fig2 regenerates Figure 2: the non-iid real-world inputs — hourly
+// electricity prices (NYISO-like) and the hourly workload level (the
+// video-viewership stand-in) — demonstrating the periodic-trend-plus-noise
+// structure the system-state model assumes.
+func Fig2(cfg Fig2Config) (*Figure, error) {
+	if cfg.Days <= 0 || cfg.Devices <= 0 {
+		return nil, fmt.Errorf("experiments: fig2 needs positive days and devices, got %d/%d", cfg.Days, cfg.Devices)
+	}
+	root := rng.New(cfg.Seed)
+	price := trace.NewPriceProcess(trace.DefaultPriceConfig(), root.Derive("price"))
+	demand := trace.NewDemandProcess(trace.DefaultDemandConfig(), cfg.Devices, root.Derive("demand"))
+
+	slots := cfg.Days * 24
+	xs := make([]float64, slots)
+	prices := make([]float64, slots)
+	workload := make([]float64, slots)
+	for t := 0; t < slots; t++ {
+		xs[t] = float64(t)
+		prices[t] = price.Next().PerMWh()
+		tasks, _ := demand.Next()
+		total := 0.0
+		for _, f := range tasks {
+			total += f.Count()
+		}
+		workload[t] = total / 1e6 // aggregate mega-cycles per slot
+	}
+
+	fig := &Figure{
+		ID:     "fig2",
+		Title:  "Real-world-like inputs: hourly electricity price and workload",
+		XLabel: "hour",
+		YLabel: "price [$/MWh] / workload [Mcycles]",
+	}
+	fig.AddSeries("price", xs, prices)
+	fig.AddSeries("workload", xs, workload)
+
+	// Shape notes: both series must show a diurnal pattern.
+	fig.AddNote("price peak/trough hourly-mean ratio = %.2f", hourRatio(prices))
+	fig.AddNote("workload peak/trough hourly-mean ratio = %.2f", hourRatio(workload))
+	return fig, nil
+}
+
+// hourRatio computes max/min of hour-of-day means, a periodicity measure.
+func hourRatio(series []float64) float64 {
+	sums := make([]float64, 24)
+	counts := make([]int, 24)
+	for t, v := range series {
+		sums[t%24] += v
+		counts[t%24]++
+	}
+	means := make([]float64, 0, 24)
+	for h := range sums {
+		if counts[h] > 0 {
+			means = append(means, sums[h]/float64(counts[h]))
+		}
+	}
+	mn := stats.Min(means)
+	if mn == 0 {
+		return 0
+	}
+	return stats.Max(means) / mn
+}
+
+// Fig3Config parameterizes the energy-function figure.
+type Fig3Config struct {
+	// PerturbedCurves is the number of per-server example curves (paper
+	// shows two dashed ones).
+	PerturbedCurves int
+	// Seed controls the perturbation draws.
+	Seed int64
+}
+
+// DefaultFig3Config mirrors the paper's Figure 3.
+func DefaultFig3Config() Fig3Config { return Fig3Config{PerturbedCurves: 2, Seed: 1} }
+
+// Fig3 regenerates Figure 3: the measured i7-3770K power samples, the
+// least-squares quadratic fit, and randomly perturbed per-server energy
+// functions.
+func Fig3(cfg Fig3Config) (*Figure, error) {
+	if cfg.PerturbedCurves < 0 {
+		return nil, fmt.Errorf("experiments: fig3 needs non-negative curve count, got %d", cfg.PerturbedCurves)
+	}
+	samples := energy.I7_3770K()
+	fit, rmse := energy.FitI7Quadratic()
+
+	fig := &Figure{
+		ID:     "fig3",
+		Title:  "Energy consumption vs clock frequency (i7-3770K fit + perturbed servers)",
+		XLabel: "frequency [GHz]",
+		YLabel: "per-core power [W]",
+	}
+	xs := make([]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = s.Freq.GigaHertz()
+		ys[i] = s.Power.Watts()
+	}
+	fig.AddSeries("measured", xs, ys)
+
+	fitted := make([]float64, len(xs))
+	for i, x := range xs {
+		fitted[i] = fit.Power(units.Frequency(x * 1e9)).Watts()
+	}
+	fig.AddSeries("quadratic fit", xs, fitted)
+
+	src := rng.New(cfg.Seed)
+	for c := 0; c < cfg.PerturbedCurves; c++ {
+		e := src.TruncNormal(0, 1, -4, 4)
+		m := fit.Perturb(e)
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = m.Power(units.Frequency(x * 1e9)).Watts()
+		}
+		fig.AddSeries(fmt.Sprintf("perturbed server %d (e=%.2f)", c+1, e), xs, ys)
+	}
+
+	fig.AddNote("fit: power = %.4g·ω² + %.4g·ω + %.4g  (ω in GHz), RMSE %.3g W", fit.A, fit.B, fit.C, rmse)
+	fig.AddNote("per-server perturbation: a(1+0.01e), b(1+0.1e), c(1+0.1e), e ~ N(0,1)")
+	return fig, nil
+}

@@ -1,0 +1,234 @@
+package game
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"eotora/internal/rng"
+	"eotora/internal/solver"
+)
+
+// MCBAConfig parameterizes the Markov-chain Monte Carlo baseline of [36].
+type MCBAConfig struct {
+	// Iterations is the number of sampled moves; 0 selects a default
+	// proportional to the player count.
+	Iterations int
+	// Temperature is the initial Metropolis temperature relative to the
+	// starting objective; 0 selects a default of 0.1.
+	Temperature float64
+	// Cooling is the per-iteration geometric temperature decay in (0, 1];
+	// 0 selects a default of 0.999.
+	Cooling float64
+}
+
+// MCBA is the Markov chain Monte Carlo-based algorithm baseline: a random
+// walk over neighboring profiles (one player changes strategy per step)
+// accepting moves with the Metropolis probability exp(−Δ/τ) on the social
+// objective under a geometric cooling schedule. It converges to the
+// optimal decision in probability but needs many iterations, matching the
+// Figure 5 observation that MCBA is slower than CGBA yet faster than exact
+// branch-and-bound.
+func MCBA(g *Game, cfg MCBAConfig, src *rng.Source) (Result, error) {
+	n := g.Players()
+	iters := cfg.Iterations
+	if iters <= 0 {
+		iters = 400 * n
+	}
+	cooling := cfg.Cooling
+	if cooling <= 0 || cooling > 1 {
+		cooling = 0.999
+	}
+
+	profile := make(Profile, n)
+	for i := range profile {
+		profile[i] = src.Intn(g.StrategyCount(i))
+	}
+	loads := g.Loads(profile)
+	cur := g.SocialCost(profile)
+
+	temp := cfg.Temperature
+	if temp <= 0 {
+		temp = 0.1
+	}
+	temp *= cur + 1 // scale to the objective
+
+	best := profile.Clone()
+	bestObj := cur
+	for it := 0; it < iters; it++ {
+		i := src.Intn(n)
+		count := g.StrategyCount(i)
+		if count == 1 {
+			continue
+		}
+		s := src.Intn(count)
+		if s == profile[i] {
+			continue
+		}
+		old := profile[i]
+		// Δ objective of the unilateral move: because the social cost is
+		// Σ_r m_r p_r², the delta equals the mover's cost change times 2
+		// minus the self-term corrections; recompute incrementally via
+		// player costs against updated loads.
+		before := g.PlayerCost(profile, loads, i)
+		g.applyMove(profile, loads, i, s)
+		after := g.PlayerCost(profile, loads, i)
+		// ΔΦ = after − before, and ΔSocial = 2·ΔΦ − Δ(self terms) where
+		// the self terms Σ m p² differ between the two strategies.
+		delta := 2 * (after - before)
+		for _, u := range g.strategies[i][s] {
+			delta -= g.weights[u.Resource] * u.Weight * u.Weight
+		}
+		for _, u := range g.strategies[i][old] {
+			delta += g.weights[u.Resource] * u.Weight * u.Weight
+		}
+		accept := delta <= 0 || src.Float64() < math.Exp(-delta/temp)
+		if accept {
+			cur += delta
+			if cur < bestObj {
+				bestObj = cur
+				best = profile.Clone()
+			}
+		} else {
+			g.applyMove(profile, loads, i, old)
+		}
+		temp *= cooling
+	}
+	return Result{Profile: best, Objective: g.SocialCost(best), Iterations: iters}, nil
+}
+
+// RandomProfile implements the ROPT baseline's selection step: every
+// player picks a strategy uniformly at random (the bandwidth and compute
+// allocations on top are the closed-form optimal ones, applied by the
+// caller).
+func RandomProfile(g *Game, src *rng.Source) Result {
+	profile := make(Profile, g.Players())
+	for i := range profile {
+		profile[i] = src.Intn(g.StrategyCount(i))
+	}
+	return Result{Profile: profile, Objective: g.SocialCost(profile), Iterations: 0}
+}
+
+// bnbView adapts a Game to solver.Problem so BranchAndBound can compute
+// the exact optimum (the Gurobi-replacement baseline of Figures 4 and 5).
+// Players are searched in descending order of their cheapest self-cost
+// (the classic "hardest variable first" ordering), which tightens pruning
+// substantially relative to input order; order maps search items to
+// player indices.
+type bnbView struct {
+	g     *Game
+	order []int
+	loads []float64
+	cost  float64
+}
+
+var _ solver.Problem = (*bnbView)(nil)
+
+func newBnBView(g *Game) *bnbView {
+	order := make([]int, g.Players())
+	keys := make([]float64, g.Players())
+	for i := range order {
+		order[i] = i
+		best := math.Inf(1)
+		for _, uses := range g.strategies[i] {
+			m := 0.0
+			for _, u := range uses {
+				m += g.weights[u.Resource] * u.Weight * u.Weight
+			}
+			if m < best {
+				best = m
+			}
+		}
+		keys[i] = best
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] > keys[order[b]] })
+	return &bnbView{g: g, order: order, loads: make([]float64, g.Resources())}
+}
+
+func (v *bnbView) Items() int               { return v.g.Players() }
+func (v *bnbView) OptionCount(item int) int { return v.g.StrategyCount(v.order[item]) }
+func (v *bnbView) Cost() float64            { return v.cost }
+
+func (v *bnbView) Assign(item, option int) {
+	for _, u := range v.g.strategies[v.order[item]][option] {
+		l := v.loads[u.Resource]
+		v.cost += v.g.weights[u.Resource] * ((l+u.Weight)*(l+u.Weight) - l*l)
+		v.loads[u.Resource] = l + u.Weight
+	}
+}
+
+func (v *bnbView) Unassign(item, option int) {
+	for _, u := range v.g.strategies[v.order[item]][option] {
+		l := v.loads[u.Resource]
+		v.cost -= v.g.weights[u.Resource] * (l*l - (l-u.Weight)*(l-u.Weight))
+		v.loads[u.Resource] = l - u.Weight
+	}
+}
+
+// LowerBound: every unassigned player pays at least its cheapest marginal
+// cost against the current loads, which only grow as the search deepens.
+func (v *bnbView) LowerBound(assigned int) float64 {
+	total := 0.0
+	for item := assigned; item < v.g.Players(); item++ {
+		i := v.order[item]
+		best := math.Inf(1)
+		for _, uses := range v.g.strategies[i] {
+			m := 0.0
+			for _, u := range uses {
+				l := v.loads[u.Resource]
+				m += v.g.weights[u.Resource] * (u.Weight*u.Weight + 2*u.Weight*l)
+			}
+			if m < best {
+				best = m
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+// toSearchOrder converts a player-indexed assignment into search order.
+func (v *bnbView) toSearchOrder(profile Profile) solver.Assignment {
+	out := make(solver.Assignment, len(profile))
+	for item, player := range v.order {
+		out[item] = profile[player]
+	}
+	return out
+}
+
+// fromSearchOrder converts a search-ordered assignment back to players.
+func (v *bnbView) fromSearchOrder(a solver.Assignment) Profile {
+	out := make(Profile, len(a))
+	for item, player := range v.order {
+		out[player] = a[item]
+	}
+	return out
+}
+
+// Optimal computes the exact optimum of the game's social cost by
+// branch-and-bound, warm-started with a CGBA incumbent. cfg bounds the
+// search; with zero limits the result is provably optimal.
+func Optimal(g *Game, cfg solver.BnBConfig, src *rng.Source) (Result, solver.BnBResult, error) {
+	if cfg.Incumbent == nil {
+		warm, err := CGBA(g, CGBAConfig{}, src)
+		if err != nil {
+			return Result{}, solver.BnBResult{}, fmt.Errorf("game: warm start failed: %w", err)
+		}
+		cfg.Incumbent = solver.Assignment(warm.Profile)
+		cfg.IncumbentCost = warm.Objective
+	}
+	view := newBnBView(g)
+	// Incumbents arrive player-indexed; the search runs in bnbView order.
+	cfg.Incumbent = view.toSearchOrder(Profile(cfg.Incumbent))
+	res, err := solver.BranchAndBound(view, cfg)
+	if err != nil {
+		return Result{}, res, err
+	}
+	profile := view.fromSearchOrder(res.Best)
+	res.Best = solver.Assignment(profile)
+	return Result{
+		Profile:    profile,
+		Objective:  g.SocialCost(profile),
+		Iterations: res.Nodes,
+	}, res, nil
+}

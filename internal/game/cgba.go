@@ -1,0 +1,198 @@
+package game
+
+import (
+	"errors"
+	"fmt"
+
+	"eotora/internal/rng"
+)
+
+// Result reports the outcome of a game-solving algorithm.
+type Result struct {
+	// Profile is the final strategy profile ẑ.
+	Profile Profile
+	// Objective is the social cost T(ẑ).
+	Objective float64
+	// Iterations is the number of improvement steps (CGBA) or sampled
+	// moves (MCBA) performed.
+	Iterations int
+	// ObjectiveTrace holds the social cost after each improvement step
+	// when CGBAConfig.TrackObjective is set (entry 0 = initial profile);
+	// nil otherwise.
+	ObjectiveTrace []float64
+}
+
+// PivotRule selects which dissatisfied player moves at each CGBA step.
+type PivotRule int
+
+// Pivot rules.
+const (
+	// PivotMaxImprovement is Algorithm 3's rule: the player with the
+	// largest absolute cost improvement moves.
+	PivotMaxImprovement PivotRule = iota
+	// PivotRoundRobin cycles players in index order, moving the first
+	// dissatisfied one.
+	PivotRoundRobin
+	// PivotRandom moves a uniformly random dissatisfied player.
+	PivotRandom
+)
+
+func (p PivotRule) String() string {
+	switch p {
+	case PivotMaxImprovement:
+		return "max-improvement"
+	case PivotRoundRobin:
+		return "round-robin"
+	case PivotRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("PivotRule(%d)", int(p))
+	}
+}
+
+// CGBAConfig parameterizes the congestion-game-based algorithm.
+type CGBAConfig struct {
+	// Lambda is the λ ∈ [0, 0.125) tolerance of Algorithm 3: a player is
+	// considered satisfied when (1−λ)·T_i(z) ≤ min_ẑ T_i(ẑ, z_−i).
+	// λ = 0 converges to an exact Nash equilibrium with the 2.62
+	// approximation guarantee; larger λ trades solution quality for
+	// fewer iterations (Theorem 2).
+	Lambda float64
+	// MaxIterations caps the improvement loop as a safety net; 0 selects
+	// a generous default proportional to the player count.
+	MaxIterations int
+	// Initial, when non-nil, seeds the dynamics with a given profile
+	// instead of a uniformly random one.
+	Initial Profile
+	// Pivot selects the mover among dissatisfied players; the zero value
+	// is the paper's max-improvement rule. All rules converge (the
+	// potential decreases under any improving move); they differ in step
+	// count and occasionally in the equilibrium reached.
+	Pivot PivotRule
+	// TrackObjective records the social cost after every improvement step
+	// into Result.ObjectiveTrace (index 0 is the initial profile's cost).
+	// Costs O(|R|) extra per step; off by default.
+	TrackObjective bool
+}
+
+// ErrNoConverge is returned when CGBA hits its iteration cap, which under
+// the potential-game argument can only happen with a cap far below the
+// theoretical convergence bound.
+var ErrNoConverge = errors.New("game: CGBA iteration cap reached")
+
+// CGBA runs Algorithm 3, the paper's weighted-game best-response dynamics:
+// starting from a random profile, while some player can improve its cost by
+// more than a factor (1−λ), the player with the largest absolute
+// improvement moves to its best response. For λ ∈ (0, 0.125) the result is
+// a 2.62/(1−8λ)-approximation of the optimal social cost after
+// O((1/λ)·log(Φ₀/Φ_min)) iterations (Theorem 2); λ = 0 yields the plain
+// 2.62 bound.
+func CGBA(g *Game, cfg CGBAConfig, src *rng.Source) (Result, error) {
+	if cfg.Lambda < 0 || cfg.Lambda >= 0.125 {
+		return Result{}, fmt.Errorf("game: λ = %v outside [0, 0.125)", cfg.Lambda)
+	}
+	n := g.Players()
+	maxIter := cfg.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 200*n + 10000
+	}
+
+	profile := make(Profile, n)
+	if cfg.Initial != nil {
+		if !g.Valid(cfg.Initial) {
+			return Result{}, errors.New("game: invalid initial profile")
+		}
+		copy(profile, cfg.Initial)
+	} else {
+		for i := range profile {
+			profile[i] = src.Intn(g.StrategyCount(i))
+		}
+	}
+	loads := g.Loads(profile)
+
+	// relEps guards against floating-point non-termination at λ = 0: a
+	// move must improve by more than a vanishing relative amount.
+	const relEps = 1e-12
+
+	// dissatisfied reports whether player i can improve beyond the λ
+	// tolerance, returning its best response when so.
+	dissatisfied := func(i int) (strategy int, improve float64, ok bool) {
+		cur := g.PlayerCost(profile, loads, i)
+		s, c := g.bestResponse(profile, loads, i)
+		// Algorithm 3 line 2: (1−λ)·T_i > min T_i.
+		if (1-cfg.Lambda)*cur <= c+relEps*(cur+1) {
+			return 0, 0, false
+		}
+		return s, cur - c, true
+	}
+
+	var objTrace []float64
+	if cfg.TrackObjective {
+		objTrace = append(objTrace, g.SocialCost(profile))
+	}
+
+	iterations := 0
+	rrCursor := 0
+	for ; iterations < maxIter; iterations++ {
+		mover, strategy := -1, -1
+		switch cfg.Pivot {
+		case PivotRoundRobin:
+			for scanned := 0; scanned < n; scanned++ {
+				i := (rrCursor + scanned) % n
+				if s, _, ok := dissatisfied(i); ok {
+					mover, strategy = i, s
+					rrCursor = (i + 1) % n
+					break
+				}
+			}
+		case PivotRandom:
+			var candidates []int
+			strategies := make([]int, 0, n)
+			for i := 0; i < n; i++ {
+				if s, _, ok := dissatisfied(i); ok {
+					candidates = append(candidates, i)
+					strategies = append(strategies, s)
+				}
+			}
+			if len(candidates) > 0 {
+				pick := src.Intn(len(candidates))
+				mover, strategy = candidates[pick], strategies[pick]
+			}
+		default: // PivotMaxImprovement — Algorithm 3 line 3
+			bestImprove := 0.0
+			for i := 0; i < n; i++ {
+				if s, improve, ok := dissatisfied(i); ok && improve > bestImprove {
+					bestImprove = improve
+					mover, strategy = i, s
+				}
+			}
+		}
+		if mover < 0 {
+			return Result{
+				Profile:        profile,
+				Objective:      g.SocialCost(profile),
+				Iterations:     iterations,
+				ObjectiveTrace: objTrace,
+			}, nil
+		}
+		g.applyMove(profile, loads, mover, strategy)
+		if cfg.TrackObjective {
+			objTrace = append(objTrace, g.SocialCost(profile))
+		}
+	}
+	return Result{Profile: profile, Objective: g.SocialCost(profile), Iterations: iterations, ObjectiveTrace: objTrace}, ErrNoConverge
+}
+
+// IsEquilibrium reports whether no player can improve its cost by more
+// than the relative tolerance tol under unilateral deviation — the λ-Nash
+// condition CGBA terminates with.
+func (g *Game) IsEquilibrium(p Profile, tol float64) bool {
+	loads := g.Loads(p)
+	for i := range p {
+		cur := g.PlayerCost(p, loads, i)
+		if _, c := g.bestResponse(p, loads, i); (1-tol)*cur > c+1e-9*(cur+1) {
+			return false
+		}
+	}
+	return true
+}

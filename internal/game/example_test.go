@@ -1,0 +1,56 @@
+package game_test
+
+import (
+	"fmt"
+	"log"
+
+	"eotora/internal/game"
+	"eotora/internal/rng"
+)
+
+// ExampleCGBA solves a small load-balancing game with the paper's
+// best-response dynamics: two unit-weight players and two unit-weight
+// resources spread out at equilibrium.
+func ExampleCGBA() {
+	g, err := game.New(
+		[]float64{1, 1}, // resource weights m_r
+		[][][]game.Use{
+			{{{Resource: 0, Weight: 1}}, {{Resource: 1, Weight: 1}}}, // player 0
+			{{{Resource: 0, Weight: 1}}, {{Resource: 1, Weight: 1}}}, // player 1
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := game.CGBA(g, game.CGBAConfig{Initial: game.Profile{0, 0}}, rng.New(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("social cost:", res.Objective)
+	fmt.Println("spread out:", res.Profile[0] != res.Profile[1])
+	// Output:
+	// social cost: 2
+	// spread out: true
+}
+
+// ExampleGame_PriceOfAnarchy measures the worst-equilibrium-to-optimum
+// ratio on a micro instance — always within Theorem 2's 2.62 bound.
+func ExampleGame_PriceOfAnarchy() {
+	g, err := game.New(
+		[]float64{1, 1},
+		[][][]game.Use{
+			{{{Resource: 0, Weight: 1}}, {{Resource: 1, Weight: 1}}},
+			{{{Resource: 0, Weight: 1}}, {{Resource: 1, Weight: 1}}},
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	poa, err := g.PriceOfAnarchy(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PoA = %.2f (bound 2.62)\n", poa)
+	// Output:
+	// PoA = 1.00 (bound 2.62)
+}

@@ -1,0 +1,274 @@
+// Package game implements the weighted congestion game at the heart of the
+// paper's P2-A subproblem (the WCG problem of Section V-B) together with
+// the algorithms compared in the evaluation: the paper's CGBA(λ)
+// best-response dynamics, the MCBA Markov-chain Monte Carlo baseline of
+// [36], random play (the ROPT baseline), and an exact branch-and-bound
+// view for the Gurobi-replacement optimal baseline.
+//
+// A game instance has resources r with weights m_r and players i whose
+// strategies each use a set of resources with player-resource weights
+// p_{i,r}. Player i's cost under profile z is
+//
+//	T_i(z) = Σ_{r ∈ R_i(z_i)} m_r · p_{i,r} · p_r(z),   p_r(z) = Σ_{j uses r} p_{j,r},
+//
+// and the social objective Σ_i T_i(z) telescopes to Σ_r m_r p_r(z)² —
+// exactly the reduced latency T_t of equations (18)–(19).
+package game
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Use is one resource consumed by a strategy, with the player-resource
+// weight p_{i,r}.
+type Use struct {
+	// Resource indexes into the game's resource weights.
+	Resource int
+	// Weight is p_{i,r} > 0.
+	Weight float64
+}
+
+// Game is an immutable weighted congestion game instance.
+type Game struct {
+	weights    []float64 // m_r
+	strategies [][][]Use // [player][strategy] → resource uses
+}
+
+// New validates and builds a game. Every player needs at least one
+// strategy; resource indices must be in range; all weights must be
+// positive and finite.
+func New(resourceWeights []float64, strategies [][][]Use) (*Game, error) {
+	if len(resourceWeights) == 0 {
+		return nil, errors.New("game: no resources")
+	}
+	for r, m := range resourceWeights {
+		if !(m > 0) || math.IsInf(m, 0) {
+			return nil, fmt.Errorf("game: resource %d has invalid weight %v", r, m)
+		}
+	}
+	if len(strategies) == 0 {
+		return nil, errors.New("game: no players")
+	}
+	for i, strats := range strategies {
+		if len(strats) == 0 {
+			return nil, fmt.Errorf("game: player %d has no strategies", i)
+		}
+		for s, uses := range strats {
+			if len(uses) == 0 {
+				return nil, fmt.Errorf("game: player %d strategy %d uses no resources", i, s)
+			}
+			seen := make(map[int]bool, len(uses))
+			for _, u := range uses {
+				if u.Resource < 0 || u.Resource >= len(resourceWeights) {
+					return nil, fmt.Errorf("game: player %d strategy %d references resource %d of %d", i, s, u.Resource, len(resourceWeights))
+				}
+				if !(u.Weight > 0) || math.IsInf(u.Weight, 0) {
+					return nil, fmt.Errorf("game: player %d strategy %d has invalid weight %v", i, s, u.Weight)
+				}
+				if seen[u.Resource] {
+					return nil, fmt.Errorf("game: player %d strategy %d uses resource %d twice", i, s, u.Resource)
+				}
+				seen[u.Resource] = true
+			}
+		}
+	}
+	return &Game{weights: resourceWeights, strategies: strategies}, nil
+}
+
+// Players returns the number of players I.
+func (g *Game) Players() int { return len(g.strategies) }
+
+// Resources returns the number of resources |R|.
+func (g *Game) Resources() int { return len(g.weights) }
+
+// StrategyCount returns the size of player i's strategy set.
+func (g *Game) StrategyCount(i int) int { return len(g.strategies[i]) }
+
+// Profile is one strategy index per player.
+type Profile []int
+
+// Clone returns a copy of the profile.
+func (p Profile) Clone() Profile { return append(Profile(nil), p...) }
+
+// Valid reports whether the profile is complete and within every player's
+// strategy set.
+func (g *Game) Valid(p Profile) bool {
+	if len(p) != g.Players() {
+		return false
+	}
+	for i, s := range p {
+		if s < 0 || s >= len(g.strategies[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Loads returns p_r(z) for every resource under the profile.
+func (g *Game) Loads(p Profile) []float64 {
+	loads := make([]float64, len(g.weights))
+	for i, s := range p {
+		for _, u := range g.strategies[i][s] {
+			loads[u.Resource] += u.Weight
+		}
+	}
+	return loads
+}
+
+// SocialCost returns the objective Σ_r m_r p_r(z)² — the total latency
+// T(z) of the WCG problem.
+func (g *Game) SocialCost(p Profile) float64 {
+	loads := g.Loads(p)
+	obj := 0.0
+	for r, l := range loads {
+		obj += g.weights[r] * l * l
+	}
+	return obj
+}
+
+// PlayerCost returns T_i(z) given precomputed loads.
+func (g *Game) PlayerCost(p Profile, loads []float64, i int) float64 {
+	cost := 0.0
+	for _, u := range g.strategies[i][p[i]] {
+		cost += g.weights[u.Resource] * u.Weight * loads[u.Resource]
+	}
+	return cost
+}
+
+// Potential returns the weighted Rosenthal potential
+//
+//	Φ(z) = ½ Σ_r m_r (p_r(z)² + Σ_{i uses r} p_{i,r}²),
+//
+// whose change under a unilateral move equals the mover's cost change —
+// the property that makes CGBA's best-response dynamics converge.
+func (g *Game) Potential(p Profile) float64 {
+	loads := g.Loads(p)
+	phi := 0.0
+	for r, l := range loads {
+		phi += g.weights[r] * l * l
+	}
+	for i, s := range p {
+		for _, u := range g.strategies[i][s] {
+			phi += g.weights[u.Resource] * u.Weight * u.Weight
+		}
+	}
+	return phi / 2
+}
+
+// bestResponse returns player i's minimum-cost strategy against the other
+// players' contributions. loads must include player i's current strategy;
+// the function internally removes it.
+func (g *Game) bestResponse(p Profile, loads []float64, i int) (strategy int, cost float64) {
+	// Loads without player i.
+	cur := g.strategies[i][p[i]]
+	without := func(r int) float64 {
+		l := loads[r]
+		for _, u := range cur {
+			if u.Resource == r {
+				return l - u.Weight
+			}
+		}
+		return l
+	}
+	best, bestCost := -1, math.Inf(1)
+	for s, uses := range g.strategies[i] {
+		c := 0.0
+		for _, u := range uses {
+			c += g.weights[u.Resource] * u.Weight * (without(u.Resource) + u.Weight)
+		}
+		if c < bestCost {
+			best, bestCost = s, c
+		}
+	}
+	return best, bestCost
+}
+
+// applyMove switches player i to strategy s, updating loads in place.
+func (g *Game) applyMove(p Profile, loads []float64, i, s int) {
+	for _, u := range g.strategies[i][p[i]] {
+		loads[u.Resource] -= u.Weight
+	}
+	p[i] = s
+	for _, u := range g.strategies[i][s] {
+		loads[u.Resource] += u.Weight
+	}
+}
+
+// EnumerateEquilibria exhaustively enumerates pure Nash equilibria of the
+// game, up to maxProfiles enumerated profiles (0 = no cap). It returns the
+// equilibria found and whether enumeration completed. Exponential in the
+// player count — a research tool for micro instances, used to measure the
+// empirical price of anarchy against Theorem 2's 2.62 bound.
+func (g *Game) EnumerateEquilibria(maxProfiles int) (equilibria []Profile, complete bool) {
+	n := g.Players()
+	current := make(Profile, n)
+	visited := 0
+	complete = true
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			visited++
+			if maxProfiles > 0 && visited > maxProfiles {
+				complete = false
+				return false
+			}
+			if g.IsEquilibrium(current, 0) {
+				equilibria = append(equilibria, current.Clone())
+			}
+			return true
+		}
+		for s := 0; s < g.StrategyCount(i); s++ {
+			current[i] = s
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return equilibria, complete
+}
+
+// PriceOfAnarchy returns worst-equilibrium cost / optimal cost over the
+// game's pure Nash equilibria, found by exhaustive enumeration (bounded by
+// maxProfiles; 0 = unbounded). The optimum is the minimum social cost over
+// all profiles. It returns an error when enumeration was truncated or no
+// equilibrium exists within the bound.
+func (g *Game) PriceOfAnarchy(maxProfiles int) (float64, error) {
+	equilibria, complete := g.EnumerateEquilibria(maxProfiles)
+	if !complete {
+		return 0, fmt.Errorf("game: equilibrium enumeration truncated at %d profiles", maxProfiles)
+	}
+	if len(equilibria) == 0 {
+		return 0, errors.New("game: no pure Nash equilibrium found (finite potential games always have one — check tolerances)")
+	}
+	worst := 0.0
+	for _, eq := range equilibria {
+		if c := g.SocialCost(eq); c > worst {
+			worst = c
+		}
+	}
+	// Optimal social cost by enumeration.
+	best := math.Inf(1)
+	current := make(Profile, g.Players())
+	var rec func(i int)
+	rec = func(i int) {
+		if i == g.Players() {
+			if c := g.SocialCost(current); c < best {
+				best = c
+			}
+			return
+		}
+		for s := 0; s < g.StrategyCount(i); s++ {
+			current[i] = s
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	if best <= 0 {
+		return 0, errors.New("game: non-positive optimal cost")
+	}
+	return worst / best, nil
+}

@@ -1,0 +1,27 @@
+package lyapunov_test
+
+import (
+	"fmt"
+	"log"
+
+	"eotora/internal/lyapunov"
+)
+
+// ExampleDPP shows one drift-plus-penalty slot: score candidate decisions
+// with Objective, perform the best, then Commit the realized violation.
+func ExampleDPP() {
+	dpp, err := lyapunov.NewDPP(100 /* V */, 0 /* Q(1) */)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Slot 1: cheap power, overspend a little to win latency.
+	fmt.Printf("objective: %.0f\n", dpp.Objective(2.0 /* latency */, 0.3 /* θ */))
+	dpp.Commit(0.3)
+	// Slot 2: the queue now charges for overspending.
+	fmt.Printf("backlog: %.1f\n", dpp.Queue.Backlog())
+	fmt.Printf("objective: %.2f\n", dpp.Objective(2.0, 0.3))
+	// Output:
+	// objective: 200
+	// backlog: 0.3
+	// objective: 200.09
+}

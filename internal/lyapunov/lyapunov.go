@@ -1,0 +1,149 @@
+// Package lyapunov provides the virtual-queue machinery of the paper's
+// drift-plus-penalty (DPP) scheme: a scalar virtual queue tracking
+// accumulated budget violation, and the per-slot objective weights that
+// trade the penalty (latency) against the drift (energy-cost slack).
+package lyapunov
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Queue is the virtual queue of equation (21):
+//
+//	Q(t+1) = max{Q(t) + θ(t), 0},
+//
+// where θ(t) = C_t − C̄ is the slot's budget violation. The zero value is
+// a queue starting at Q(1) = 0.
+type Queue struct {
+	backlog float64
+}
+
+// NewQueue returns a queue with the given initial backlog Q(1);
+// negative initial backlogs are clamped to zero.
+func NewQueue(initial float64) *Queue {
+	if initial < 0 || math.IsNaN(initial) {
+		initial = 0
+	}
+	return &Queue{backlog: initial}
+}
+
+// Backlog returns the current Q(t).
+func (q *Queue) Backlog() float64 { return q.backlog }
+
+// Update applies equation (21) with violation θ(t) and returns the new
+// backlog.
+func (q *Queue) Update(theta float64) float64 {
+	q.backlog = math.Max(q.backlog+theta, 0)
+	return q.backlog
+}
+
+// DPP bundles the drift-plus-penalty weights: the per-slot objective is
+// V·penalty + Q(t)·θ(t), minimized jointly over the slot's decisions.
+type DPP struct {
+	// V is the penalty weight: larger V favors lower latency at the price
+	// of a larger converged backlog (Theorem 4's O(1/V) vs O(V) tradeoff).
+	V     float64
+	Queue *Queue
+}
+
+// NewDPP returns a DPP with the given V and initial backlog.
+func NewDPP(v, initialBacklog float64) (*DPP, error) {
+	if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil, errors.New("lyapunov: V must be positive and finite")
+	}
+	return &DPP{V: v, Queue: NewQueue(initialBacklog)}, nil
+}
+
+// Objective returns the drift-plus-penalty value V·penalty + Q·θ for a
+// candidate decision's penalty and constraint violation.
+func (d *DPP) Objective(penalty, theta float64) float64 {
+	return d.V*penalty + d.Queue.Backlog()*theta
+}
+
+// Commit advances the queue with the realized violation θ(t) and returns
+// the new backlog.
+func (d *DPP) Commit(theta float64) float64 {
+	return d.Queue.Update(theta)
+}
+
+// QueueSet maintains one virtual queue per named constraint — the
+// multi-constraint generalization of the paper's single energy-cost
+// budget (e.g. one budget per edge-server room). Keys are arbitrary
+// integer identifiers.
+type QueueSet struct {
+	queues map[int]*Queue
+}
+
+// NewQueueSet creates a set with a zero-backlog queue per key.
+func NewQueueSet(keys []int) *QueueSet {
+	qs := &QueueSet{queues: make(map[int]*Queue, len(keys))}
+	for _, k := range keys {
+		qs.queues[k] = NewQueue(0)
+	}
+	return qs
+}
+
+// Keys returns the sorted constraint identifiers.
+func (qs *QueueSet) Keys() []int {
+	keys := make([]int, 0, len(qs.queues))
+	for k := range qs.queues {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Backlog returns the backlog of queue k, or zero for unknown keys.
+func (qs *QueueSet) Backlog(k int) float64 {
+	q, ok := qs.queues[k]
+	if !ok {
+		return 0
+	}
+	return q.Backlog()
+}
+
+// Backlogs returns a copy of all backlogs.
+func (qs *QueueSet) Backlogs() map[int]float64 {
+	out := make(map[int]float64, len(qs.queues))
+	for k, q := range qs.queues {
+		out[k] = q.Backlog()
+	}
+	return out
+}
+
+// Update applies θ_k(t) to queue k; unknown keys are ignored and report 0.
+func (qs *QueueSet) Update(k int, theta float64) float64 {
+	q, ok := qs.queues[k]
+	if !ok {
+		return 0
+	}
+	return q.Update(theta)
+}
+
+// Set forces queue k to the given backlog (checkpoint restore).
+func (qs *QueueSet) Set(k int, backlog float64) {
+	qs.queues[k] = NewQueue(backlog)
+}
+
+// TotalBacklog returns Σ_k Q_k(t).
+func (qs *QueueSet) TotalBacklog() float64 {
+	total := 0.0
+	for _, q := range qs.queues {
+		total += q.Backlog()
+	}
+	return total
+}
+
+// Penalty returns Σ_k Q_k·θ_k for candidate violations (keys absent from
+// thetas contribute nothing).
+func (qs *QueueSet) Penalty(thetas map[int]float64) float64 {
+	total := 0.0
+	for k, theta := range thetas {
+		if q, ok := qs.queues[k]; ok {
+			total += q.Backlog() * theta
+		}
+	}
+	return total
+}

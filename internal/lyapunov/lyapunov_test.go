@@ -1,0 +1,192 @@
+package lyapunov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"eotora/internal/rng"
+)
+
+func TestQueueUpdate(t *testing.T) {
+	tests := []struct {
+		name   string
+		init   float64
+		thetas []float64
+		want   float64
+	}{
+		{name: "accumulates positive violations", init: 0, thetas: []float64{1, 2, 3}, want: 6},
+		{name: "clamps at zero", init: 0, thetas: []float64{5, -10}, want: 0},
+		{name: "recovers after clamp", init: 0, thetas: []float64{-3, 4}, want: 4},
+		{name: "initial backlog", init: 10, thetas: []float64{-4}, want: 6},
+		{name: "negative initial clamped", init: -5, thetas: nil, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			q := NewQueue(tt.init)
+			for _, th := range tt.thetas {
+				q.Update(th)
+			}
+			if got := q.Backlog(); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("backlog = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestQueueNaNInitialClamped(t *testing.T) {
+	if got := NewQueue(math.NaN()).Backlog(); got != 0 {
+		t.Errorf("NaN initial backlog = %v, want 0", got)
+	}
+}
+
+func TestQueueZeroValueUsable(t *testing.T) {
+	var q Queue
+	if q.Backlog() != 0 {
+		t.Error("zero-value queue has non-zero backlog")
+	}
+	if got := q.Update(2.5); got != 2.5 {
+		t.Errorf("Update = %v, want 2.5", got)
+	}
+}
+
+// Property: backlog is always ≥ 0 and matches the explicit recursion.
+func TestQueueProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		q := NewQueue(0)
+		ref := 0.0
+		for _, th := range raw {
+			if math.IsNaN(th) || math.Abs(th) > 1e12 {
+				continue
+			}
+			got := q.Update(th)
+			ref = math.Max(ref+th, 0)
+			if got < 0 || math.Abs(got-ref) > 1e-9*(ref+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Stability: with negative-mean violations the time-averaged backlog stays
+// bounded (Q/T → 0), the feasibility condition of Assumption 1.
+func TestQueueStability(t *testing.T) {
+	src := rng.New(1)
+	q := NewQueue(0)
+	const slots = 50000
+	for i := 0; i < slots; i++ {
+		q.Update(src.Normal(-0.2, 1)) // E[θ] = −0.2 < 0
+	}
+	if avg := q.Backlog() / slots; avg > 0.01 {
+		t.Errorf("Q(T)/T = %v, want ≈ 0 for stable queue", avg)
+	}
+}
+
+func TestNewDPPValidation(t *testing.T) {
+	for _, v := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := NewDPP(v, 0); err == nil {
+			t.Errorf("NewDPP(%v) accepted", v)
+		}
+	}
+	d, err := NewDPP(50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.V != 50 || d.Queue.Backlog() != 3 {
+		t.Errorf("DPP = %+v", d)
+	}
+}
+
+func TestDPPObjective(t *testing.T) {
+	d, err := NewDPP(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Commit(2) // Q = 2
+	// V·penalty + Q·θ = 100·1.5 + 2·0.5 = 151.
+	if got := d.Objective(1.5, 0.5); math.Abs(got-151) > 1e-12 {
+		t.Errorf("Objective = %v, want 151", got)
+	}
+}
+
+func TestDPPCommitAdvancesQueue(t *testing.T) {
+	d, err := NewDPP(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Commit(3); got != 3 {
+		t.Errorf("Commit = %v, want 3", got)
+	}
+	if got := d.Commit(-5); got != 0 {
+		t.Errorf("Commit = %v, want 0", got)
+	}
+}
+
+// Property: larger V weights the penalty more for any fixed (penalty, θ)
+// with positive penalty.
+func TestDPPMonotoneInV(t *testing.T) {
+	prop := func(penalty, theta float64) bool {
+		if math.IsNaN(penalty) || math.IsNaN(theta) || math.Abs(penalty) > 1e12 || math.Abs(theta) > 1e12 {
+			return true
+		}
+		penalty = math.Abs(penalty)
+		d1, err1 := NewDPP(10, 5)
+		d2, err2 := NewDPP(20, 5)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		d1.Queue.Update(5)
+		d2.Queue.Update(5)
+		return d2.Objective(penalty, theta) >= d1.Objective(penalty, theta)-1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueSetBasics(t *testing.T) {
+	qs := NewQueueSet([]int{2, 0, 1})
+	if got := qs.Keys(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("Keys = %v", got)
+	}
+	qs.Update(0, 5)
+	qs.Update(1, -3)
+	qs.Update(2, 2)
+	if qs.Backlog(0) != 5 || qs.Backlog(1) != 0 || qs.Backlog(2) != 2 {
+		t.Errorf("backlogs = %v", qs.Backlogs())
+	}
+	if qs.TotalBacklog() != 7 {
+		t.Errorf("TotalBacklog = %v", qs.TotalBacklog())
+	}
+	// Unknown key: ignored.
+	if qs.Update(9, 10) != 0 || qs.Backlog(9) != 0 {
+		t.Error("unknown key not ignored")
+	}
+	// Penalty: Σ Q·θ = 5·1 + 0·1 + 2·(−2) = 1.
+	p := qs.Penalty(map[int]float64{0: 1, 1: 1, 2: -2, 9: 100})
+	if math.Abs(p-1) > 1e-12 {
+		t.Errorf("Penalty = %v, want 1", p)
+	}
+	qs.Set(0, 42)
+	if qs.Backlog(0) != 42 {
+		t.Error("Set did not take effect")
+	}
+}
+
+func TestQueueSetStability(t *testing.T) {
+	// Each queue independently stable under negative-mean violations.
+	qs := NewQueueSet([]int{0, 1})
+	src := rng.New(9)
+	const slots = 20000
+	for i := 0; i < slots; i++ {
+		qs.Update(0, src.Normal(-0.3, 1))
+		qs.Update(1, src.Normal(-0.1, 1))
+	}
+	if avg := qs.TotalBacklog() / slots; avg > 0.02 {
+		t.Errorf("queue set not stable: total/T = %v", avg)
+	}
+}

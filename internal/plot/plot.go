@@ -1,0 +1,184 @@
+// Package plot renders numeric series as plain-text charts for terminal
+// output: multi-series line charts on a character grid and compact
+// sparklines. cmd/experiments uses it to preview figures without leaving
+// the shell; nothing here affects the recorded data.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// markers label up to eight overlaid series on one grid.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Series is one named line.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Config sizes a chart.
+type Config struct {
+	// Width and Height are the plot-area dimensions in characters;
+	// non-positive values select 72×20.
+	Width, Height int
+	// Title is printed above the grid.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// LogY plots log10(y); non-positive values are dropped.
+	LogY bool
+}
+
+func (c *Config) normalize() {
+	if c.Width <= 0 {
+		c.Width = 72
+	}
+	if c.Height <= 0 {
+		c.Height = 20
+	}
+	if c.Width < 16 {
+		c.Width = 16
+	}
+	if c.Height < 4 {
+		c.Height = 4
+	}
+}
+
+// Lines renders the series overlaid on one grid with a shared scale,
+// axis annotations, and a legend.
+func Lines(w io.Writer, cfg Config, series ...Series) error {
+	cfg.normalize()
+	if len(series) == 0 {
+		_, err := io.WriteString(w, "(no series)\n")
+		return err
+	}
+	if len(series) > len(markers) {
+		return fmt.Errorf("plot: %d series exceeds the %d-marker limit", len(series), len(markers))
+	}
+
+	// Global ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			y := s.Y[i]
+			if cfg.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(s.X[i]) || math.IsNaN(y) || math.IsInf(s.X[i], 0) || math.IsInf(y, 0) {
+				continue
+			}
+			points++
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if points == 0 {
+		_, err := io.WriteString(w, "(no finite points)\n")
+		return err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	for si, s := range series {
+		mark := markers[si]
+		for i := range s.X {
+			y := s.Y[i]
+			if cfg.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(s.X[i]) || math.IsNaN(y) || math.IsInf(s.X[i], 0) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(cfg.Width-1))
+			row := cfg.Height - 1 - int((y-ymin)/(ymax-ymin)*float64(cfg.Height-1))
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	yTop, yBottom := ymax, ymin
+	suffix := ""
+	if cfg.LogY {
+		suffix = " (log10)"
+	}
+	fmt.Fprintf(&b, "%10.4g ┤%s\n", yTop, string(grid[0]))
+	for r := 1; r < cfg.Height-1; r++ {
+		fmt.Fprintf(&b, "%10s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10.4g ┤%s\n", yBottom, string(grid[cfg.Height-1]))
+	fmt.Fprintf(&b, "%10s └%s\n", "", strings.Repeat("─", cfg.Width))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g\n", "", cfg.Width/2, xmin, cfg.Width-cfg.Width/2, xmax)
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		fmt.Fprintf(&b, "%10s  x: %s   y: %s%s\n", "", cfg.XLabel, cfg.YLabel, suffix)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "%10s  %c %s\n", "", markers[si], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sparkLevels are the eight block glyphs of a sparkline.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline returns a one-line block-glyph rendering of ys, or an empty
+// string for empty input. NaN/Inf values render as spaces.
+func Sparkline(ys []float64) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			continue
+		}
+		lo = math.Min(lo, y)
+		hi = math.Max(hi, y)
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(ys))
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, y := range ys {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			b.WriteByte(' ')
+			continue
+		}
+		level := 0
+		if span > 0 {
+			level = int((y - lo) / span * float64(len(sparkLevels)-1))
+		}
+		b.WriteRune(sparkLevels[level])
+	}
+	return b.String()
+}

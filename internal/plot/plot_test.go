@@ -1,0 +1,124 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLinesBasic(t *testing.T) {
+	var sb strings.Builder
+	err := Lines(&sb, Config{Width: 40, Height: 8, Title: "demo", XLabel: "t", YLabel: "v"},
+		Series{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		Series{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "* up", "o down", "x: t", "y: v"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The increasing series must put a '*' in the top row and one in the
+	// bottom row.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("no marker in top row: %q", lines[1])
+	}
+}
+
+func TestLinesEmptyAndDegenerate(t *testing.T) {
+	var sb strings.Builder
+	if err := Lines(&sb, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no series") {
+		t.Error("empty call should say no series")
+	}
+	sb.Reset()
+	// All-NaN series.
+	if err := Lines(&sb, Config{}, Series{Name: "nan", X: []float64{1}, Y: []float64{math.NaN()}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no finite points") {
+		t.Error("NaN-only series should report no finite points")
+	}
+	// Constant series must not divide by zero.
+	sb.Reset()
+	if err := Lines(&sb, Config{}, Series{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinesErrors(t *testing.T) {
+	var sb strings.Builder
+	err := Lines(&sb, Config{}, Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}})
+	if err == nil {
+		t.Error("length mismatch accepted")
+	}
+	many := make([]Series, 9)
+	for i := range many {
+		many[i] = Series{Name: "s", X: []float64{1}, Y: []float64{1}}
+	}
+	if err := Lines(&sb, Config{}, many...); err == nil {
+		t.Error("9 series accepted with 8 markers")
+	}
+}
+
+func TestLinesLogY(t *testing.T) {
+	var sb strings.Builder
+	err := Lines(&sb, Config{Width: 30, Height: 6, LogY: true, YLabel: "ms"},
+		Series{Name: "time", X: []float64{1, 2, 3}, Y: []float64{0.01, 1, 10000}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(log10)") {
+		t.Error("log axis not labeled")
+	}
+	// Non-positive values under LogY must be dropped, not crash.
+	sb.Reset()
+	err = Lines(&sb, Config{LogY: true}, Series{Name: "z", X: []float64{1, 2}, Y: []float64{-1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no finite points") {
+		t.Error("all-nonpositive LogY should report no finite points")
+	}
+}
+
+func TestLinesTinyDimensionsClamped(t *testing.T) {
+	var sb strings.Builder
+	err := Lines(&sb, Config{Width: 1, Height: 1},
+		Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.String()) == 0 {
+		t.Error("no output")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	got := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("Sparkline = %q", got)
+	}
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty Sparkline = %q", got)
+	}
+	// Constant input renders the lowest level everywhere.
+	if got := Sparkline([]float64{5, 5, 5}); got != "▁▁▁" {
+		t.Errorf("flat Sparkline = %q", got)
+	}
+	// NaN becomes a space.
+	if got := Sparkline([]float64{0, math.NaN(), 1}); got != "▁ █" {
+		t.Errorf("NaN Sparkline = %q", got)
+	}
+	// All-NaN yields spaces.
+	if got := Sparkline([]float64{math.NaN(), math.NaN()}); got != "  " {
+		t.Errorf("all-NaN Sparkline = %q", got)
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"eotora/internal/stats"
+)
+
+// Replication summarizes one scalar metric across independent seeded runs:
+// mean, population standard deviation, and the per-run values.
+type Replication struct {
+	Name   string
+	Values []float64
+	Mean   float64
+	StdDev float64
+}
+
+// relativeSpread returns σ/μ, or 0 for a zero mean.
+func (r Replication) RelativeSpread() float64 {
+	if r.Mean == 0 {
+		return 0
+	}
+	return r.StdDev / r.Mean
+}
+
+// ReplicateResult aggregates the standard summary metrics across seeds.
+type ReplicateResult struct {
+	Latency Replication
+	Cost    Replication
+	Backlog Replication
+}
+
+// Replicate runs the experiment built by build for every seed and returns
+// cross-seed statistics of the summary metrics, quantifying how sensitive
+// a reported number is to the random scenario draw. build must create a
+// fresh controller and source per call (seeds are passed through).
+func Replicate(seeds []int64, build func(seed int64) (Job, error)) (ReplicateResult, error) {
+	if len(seeds) == 0 {
+		return ReplicateResult{}, errors.New("sim: no seeds")
+	}
+	if build == nil {
+		return ReplicateResult{}, errors.New("sim: nil builder")
+	}
+	jobs := make([]Job, 0, len(seeds))
+	for _, seed := range seeds {
+		job, err := build(seed)
+		if err != nil {
+			return ReplicateResult{}, fmt.Errorf("sim: building seed %d: %w", seed, err)
+		}
+		if job.Name == "" {
+			job.Name = fmt.Sprintf("seed-%d", seed)
+		}
+		jobs = append(jobs, job)
+	}
+	results, err := Sweep(jobs, 0)
+	if err != nil {
+		return ReplicateResult{}, err
+	}
+	lat := make([]float64, len(results))
+	cost := make([]float64, len(results))
+	backlog := make([]float64, len(results))
+	for i, r := range results {
+		lat[i] = r.Metrics.AvgLatency()
+		cost[i] = r.Metrics.AvgCost()
+		backlog[i] = r.Metrics.AvgBacklog()
+	}
+	mk := func(name string, vals []float64) Replication {
+		return Replication{
+			Name:   name,
+			Values: vals,
+			Mean:   stats.Mean(vals),
+			StdDev: stats.StdDev(vals),
+		}
+	}
+	return ReplicateResult{
+		Latency: mk("avg latency", lat),
+		Cost:    mk("avg cost", cost),
+		Backlog: mk("avg backlog", backlog),
+	}, nil
+}

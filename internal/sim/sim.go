@@ -1,0 +1,304 @@
+// Package sim drives slot-by-slot online simulations of EOTORA
+// controllers and records the metric time series the paper's evaluation
+// plots: overall latency, energy cost, virtual-queue backlog, electricity
+// price, decision wall-clock time, and solver work.
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"eotora/internal/core"
+	"eotora/internal/stats"
+	"eotora/internal/trace"
+)
+
+// Config bounds a simulation run.
+type Config struct {
+	// Slots is the number of slots to simulate.
+	Slots int
+	// Warmup is the number of leading slots excluded from the summary
+	// averages (the queue's convergence transient in Figure 7).
+	Warmup int
+	// RecordPerDevice additionally stores every device's latency each
+	// slot (Metrics.PerDevice), enabling tail-latency analysis at the
+	// price of O(slots × devices) memory.
+	RecordPerDevice bool
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Slots <= 0 {
+		return fmt.Errorf("sim: need at least one slot, got %d", c.Slots)
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Slots {
+		return fmt.Errorf("sim: warmup %d outside [0, %d)", c.Warmup, c.Slots)
+	}
+	return nil
+}
+
+// Metrics holds per-slot series from one run. All slices share the same
+// length (the number of simulated slots).
+type Metrics struct {
+	// Solver identifies the controller's P2-A algorithm.
+	Solver string
+	// V is the controller's penalty weight.
+	V float64
+	// Budget is the system's per-slot cost budget C̄ in dollars.
+	Budget float64
+	// Warmup is the number of slots excluded from summary averages.
+	Warmup int
+
+	Latency          []float64       // T_t seconds
+	CommLatency      []float64       // communication part of T_t
+	ProcLatency      []float64       // processing part of T_t
+	Fairness         []float64       // Jain index over per-device latencies
+	EnergyCost       []float64       // C_t dollars
+	Theta            []float64       // C_t − C̄
+	Backlog          []float64       // Q(t+1)
+	Price            []float64       // p_t $/MWh
+	SolverIterations []int           // P2-A work per slot
+	DecisionTime     []time.Duration // wall clock per slot
+
+	// PerDevice[t][i] is device i's latency at slot t; non-nil only when
+	// Config.RecordPerDevice was set.
+	PerDevice [][]float64
+
+	recordPerDevice bool
+}
+
+// Slots returns the number of recorded slots.
+func (m *Metrics) Slots() int { return len(m.Latency) }
+
+func (m *Metrics) steady(series []float64) []float64 {
+	if m.Warmup >= len(series) {
+		return nil
+	}
+	return series[m.Warmup:]
+}
+
+// AvgLatency returns the post-warmup time-average latency.
+func (m *Metrics) AvgLatency() float64 { return stats.Mean(m.steady(m.Latency)) }
+
+// AvgCost returns the post-warmup time-average energy cost.
+func (m *Metrics) AvgCost() float64 { return stats.Mean(m.steady(m.EnergyCost)) }
+
+// AvgBacklog returns the post-warmup time-average backlog.
+func (m *Metrics) AvgBacklog() float64 { return stats.Mean(m.steady(m.Backlog)) }
+
+// AvgCommLatency returns the post-warmup average communication latency.
+func (m *Metrics) AvgCommLatency() float64 { return stats.Mean(m.steady(m.CommLatency)) }
+
+// AvgProcLatency returns the post-warmup average processing latency.
+func (m *Metrics) AvgProcLatency() float64 { return stats.Mean(m.steady(m.ProcLatency)) }
+
+// AvgFairness returns the post-warmup average Jain fairness index of the
+// per-device latencies.
+func (m *Metrics) AvgFairness() float64 { return stats.Mean(m.steady(m.Fairness)) }
+
+// AvgDecisionTime returns the mean per-slot decision wall time.
+func (m *Metrics) AvgDecisionTime() time.Duration {
+	if len(m.DecisionTime) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range m.DecisionTime {
+		total += d
+	}
+	return total / time.Duration(len(m.DecisionTime))
+}
+
+// BudgetSatisfied reports whether the post-warmup average cost stays
+// within (1+slack) of the budget.
+func (m *Metrics) BudgetSatisfied(slack float64) bool {
+	return m.AvgCost() <= m.Budget*(1+slack)
+}
+
+// WindowAvgLatency returns window means of the latency series (the 48-slot
+// averages of Figure 9).
+func (m *Metrics) WindowAvgLatency(window int) []float64 {
+	return stats.WindowMeans(m.Latency, window)
+}
+
+// WriteCSV streams the per-slot series as CSV.
+func (m *Metrics) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "slot,latency_s,cost_usd,theta,backlog,price_mwh,solver_iters,decision_us\n"); err != nil {
+		return err
+	}
+	for i := range m.Latency {
+		row := strconv.Itoa(i+1) + "," +
+			strconv.FormatFloat(m.Latency[i], 'g', 10, 64) + "," +
+			strconv.FormatFloat(m.EnergyCost[i], 'g', 10, 64) + "," +
+			strconv.FormatFloat(m.Theta[i], 'g', 10, 64) + "," +
+			strconv.FormatFloat(m.Backlog[i], 'g', 10, 64) + "," +
+			strconv.FormatFloat(m.Price[i], 'g', 10, 64) + "," +
+			strconv.Itoa(m.SolverIterations[i]) + "," +
+			strconv.FormatInt(m.DecisionTime[i].Microseconds(), 10) + "\n"
+		if _, err := io.WriteString(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run simulates the controller against the state source for cfg.Slots
+// slots.
+func Run(ctrl *core.Controller, src trace.Source, cfg Config) (*Metrics, error) {
+	if ctrl == nil {
+		return nil, errors.New("sim: nil controller")
+	}
+	if src == nil {
+		return nil, errors.New("sim: nil state source")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := newMetrics(ctrl, cfg)
+	for s := 0; s < cfg.Slots; s++ {
+		if err := m.step(ctrl, src, s); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func newMetrics(ctrl *core.Controller, cfg Config) *Metrics {
+	return &Metrics{
+		Solver:           ctrl.SolverName(),
+		V:                ctrl.V(),
+		Budget:           ctrl.System().Budget.Dollars(),
+		Warmup:           cfg.Warmup,
+		Latency:          make([]float64, 0, cfg.Slots),
+		CommLatency:      make([]float64, 0, cfg.Slots),
+		ProcLatency:      make([]float64, 0, cfg.Slots),
+		Fairness:         make([]float64, 0, cfg.Slots),
+		EnergyCost:       make([]float64, 0, cfg.Slots),
+		Theta:            make([]float64, 0, cfg.Slots),
+		Backlog:          make([]float64, 0, cfg.Slots),
+		Price:            make([]float64, 0, cfg.Slots),
+		SolverIterations: make([]int, 0, cfg.Slots),
+		DecisionTime:     make([]time.Duration, 0, cfg.Slots),
+		recordPerDevice:  cfg.RecordPerDevice,
+	}
+}
+
+// step advances one slot and records its metrics.
+func (m *Metrics) step(ctrl *core.Controller, src trace.Source, s int) error {
+	st := src.Next()
+	res, err := ctrl.Step(st)
+	if err != nil {
+		return fmt.Errorf("sim: slot %d: %w", s+1, err)
+	}
+	m.Latency = append(m.Latency, res.Latency.Value())
+	comm, proc := res.Split()
+	m.CommLatency = append(m.CommLatency, comm.Value())
+	m.ProcLatency = append(m.ProcLatency, proc.Value())
+	m.Fairness = append(m.Fairness, res.Fairness())
+	m.EnergyCost = append(m.EnergyCost, res.EnergyCost.Dollars())
+	m.Theta = append(m.Theta, res.Theta)
+	m.Backlog = append(m.Backlog, res.Backlog)
+	m.Price = append(m.Price, st.Price.PerMWh())
+	m.SolverIterations = append(m.SolverIterations, res.SolverIterations)
+	m.DecisionTime = append(m.DecisionTime, res.Elapsed)
+	if m.recordPerDevice {
+		row := make([]float64, len(res.PerDevice))
+		for i, lb := range res.PerDevice {
+			row[i] = lb.Total().Value()
+		}
+		m.PerDevice = append(m.PerDevice, row)
+	}
+	return nil
+}
+
+// DeviceLatencyQuantile returns the q-quantile of all recorded per-device
+// latencies after warmup. It returns NaN unless RecordPerDevice was set.
+func (m *Metrics) DeviceLatencyQuantile(q float64) float64 {
+	if len(m.PerDevice) == 0 {
+		return math.NaN()
+	}
+	var all []float64
+	for t := m.Warmup; t < len(m.PerDevice); t++ {
+		all = append(all, m.PerDevice[t]...)
+	}
+	return stats.Quantile(all, q)
+}
+
+// RunAll simulates several controllers over the *same* recorded state
+// sequence, the apples-to-apples setup of Figure 9. The source is drawn
+// once and replayed for every controller.
+func RunAll(ctrls []*core.Controller, src trace.Source, cfg Config) ([]*Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	states := trace.Record(src, cfg.Slots)
+	out := make([]*Metrics, 0, len(ctrls))
+	for i, ctrl := range ctrls {
+		replay, err := trace.NewReplay(states, src.Period())
+		if err != nil {
+			return nil, err
+		}
+		m, err := Run(ctrl, replay, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: controller %d (%s): %w", i, ctrl.SolverName(), err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Summary writes a human-readable run report: configuration, averages,
+// latency split, fairness, and budget verdict.
+func (m *Metrics) Summary(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run: %s-based DPP, V=%g, %d slots (%d warmup)\n", m.Solver, m.V, m.Slots(), m.Warmup)
+	fmt.Fprintf(&b, "  avg latency:        %.4f s/slot", m.AvgLatency())
+	if comm, proc := m.AvgCommLatency(), m.AvgProcLatency(); !math.IsNaN(comm) && !math.IsNaN(proc) {
+		fmt.Fprintf(&b, "  (comm %.4f + proc %.4f)", comm, proc)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  avg energy cost:    $%.4f/slot (budget $%.4f, ratio %.3f)\n",
+		m.AvgCost(), m.Budget, m.AvgCost()/m.Budget)
+	fmt.Fprintf(&b, "  avg queue backlog:  %.3f\n", m.AvgBacklog())
+	if f := m.AvgFairness(); !math.IsNaN(f) {
+		fmt.Fprintf(&b, "  avg Jain fairness:  %.3f\n", f)
+	}
+	fmt.Fprintf(&b, "  avg decision time:  %v/slot\n", m.AvgDecisionTime())
+	if m.BudgetSatisfied(0.02) {
+		b.WriteString("  budget:             satisfied ✓\n")
+	} else {
+		b.WriteString("  budget:             NOT satisfied within 2% (lengthen the horizon or lower V)\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RunContext is Run with cooperative cancellation: it checks ctx between
+// slots and returns ctx.Err() (with partial metrics) once canceled.
+// Long paper-scale runs should prefer it.
+func RunContext(ctx context.Context, ctrl *core.Controller, src trace.Source, cfg Config) (*Metrics, error) {
+	if ctrl == nil {
+		return nil, errors.New("sim: nil controller")
+	}
+	if src == nil {
+		return nil, errors.New("sim: nil state source")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := newMetrics(ctrl, cfg)
+	for s := 0; s < cfg.Slots; s++ {
+		if err := ctx.Err(); err != nil {
+			return m, fmt.Errorf("sim: canceled at slot %d: %w", s+1, err)
+		}
+		if err := m.step(ctrl, src, s); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"eotora/internal/core"
+	"eotora/internal/trace"
+)
+
+func sweepJobs(t *testing.T, vs []float64) []Job {
+	t.Helper()
+	jobs := make([]Job, 0, len(vs))
+	for _, v := range vs {
+		v := v
+		jobs = append(jobs, Job{
+			Name: fmt.Sprintf("V=%g", v),
+			Controller: func() (*core.Controller, error) {
+				sys, _ := buildFixture(t, 6, 9)
+				return core.NewBDMAController(sys, v, 1, 0, 1)
+			},
+			Source: func() (trace.Source, error) {
+				_, gen := buildFixture(t, 6, 9)
+				return gen, nil
+			},
+			Config: Config{Slots: 12, Warmup: 2},
+		})
+	}
+	return jobs
+}
+
+func TestSweepRunsAllJobs(t *testing.T) {
+	vs := []float64{10, 50, 100, 200}
+	results, err := Sweep(sweepJobs(t, vs), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(vs) {
+		t.Fatalf("results = %d, want %d", len(results), len(vs))
+	}
+	for i, r := range results {
+		if r.Name != fmt.Sprintf("V=%g", vs[i]) {
+			t.Errorf("result %d name = %q — order not preserved", i, r.Name)
+		}
+		if r.Metrics == nil || r.Metrics.Slots() != 12 {
+			t.Errorf("result %d metrics missing", i)
+		}
+		if r.Metrics.V != vs[i] {
+			t.Errorf("result %d ran V=%v, want %v", i, r.Metrics.V, vs[i])
+		}
+	}
+}
+
+func TestSweepMatchesSequential(t *testing.T) {
+	// The same jobs run with 1 worker and 4 workers must agree exactly
+	// (determinism is per job).
+	seq, err := Sweep(sweepJobs(t, []float64{10, 100}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Sweep(sweepJobs(t, []float64{10, 100}), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i].Metrics.AvgLatency() != par[i].Metrics.AvgLatency() {
+			t.Errorf("job %d: sequential %v ≠ parallel %v", i,
+				seq[i].Metrics.AvgLatency(), par[i].Metrics.AvgLatency())
+		}
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := sweepJobs(t, []float64{10, 50, 100})
+	jobs[1].Controller = func() (*core.Controller, error) { return nil, boom }
+	_, err := Sweep(jobs, 2)
+	if err == nil || !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := Sweep(nil, 2); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	jobs := []Job{{Name: "nil factories"}}
+	if _, err := Sweep(jobs, 1); err == nil {
+		t.Error("nil factories accepted")
+	}
+}
+
+func TestSweepDefaultWorkers(t *testing.T) {
+	// workers = 0 selects GOMAXPROCS; must still complete.
+	results, err := Sweep(sweepJobs(t, []float64{25}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatal("missing result")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	sys, gen := buildFixture(t, 6, 10)
+	ctrl, err := core.NewBDMAController(sys, 50, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before the first slot
+	m, err := RunContext(ctx, ctrl, gen, Config{Slots: 100})
+	if err == nil {
+		t.Fatal("canceled run succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if m == nil || m.Slots() != 0 {
+		t.Errorf("partial metrics = %v", m)
+	}
+}
+
+func TestRunContextMatchesRun(t *testing.T) {
+	sysA, genA := buildFixture(t, 6, 11)
+	sysB, genB := buildFixture(t, 6, 11)
+	a, err := core.NewBDMAController(sysA, 50, 1, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.NewBDMAController(sysB, 50, 1, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Run(a, genA, Config{Slots: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := RunContext(context.Background(), b, genB, Config{Slots: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.Latency {
+		if m1.Latency[i] != m2.Latency[i] {
+			t.Fatalf("RunContext diverged at slot %d", i)
+		}
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	build := func(seed int64) (Job, error) {
+		return Job{
+			Controller: func() (*core.Controller, error) {
+				sys, _ := buildFixture(t, 6, seed)
+				return core.NewBDMAController(sys, 50, 1, 0, seed)
+			},
+			Source: func() (trace.Source, error) {
+				_, gen := buildFixture(t, 6, seed)
+				return gen, nil
+			},
+			Config: Config{Slots: 12, Warmup: 2},
+		}, nil
+	}
+	res, err := Replicate([]int64{1, 2, 3}, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Latency.Values) != 3 {
+		t.Fatalf("values = %d", len(res.Latency.Values))
+	}
+	if res.Latency.Mean <= 0 || res.Cost.Mean <= 0 {
+		t.Errorf("means = %v/%v", res.Latency.Mean, res.Cost.Mean)
+	}
+	// Different seeds give different scenarios → non-zero spread.
+	if res.Latency.StdDev == 0 {
+		t.Error("zero latency spread across different seeds")
+	}
+	if res.Latency.RelativeSpread() <= 0 {
+		t.Error("zero relative spread")
+	}
+	// Errors propagate.
+	if _, err := Replicate(nil, build); err == nil {
+		t.Error("empty seeds accepted")
+	}
+	if _, err := Replicate([]int64{1}, nil); err == nil {
+		t.Error("nil builder accepted")
+	}
+	boom := errors.New("nope")
+	if _, err := Replicate([]int64{1}, func(int64) (Job, error) { return Job{}, boom }); !errors.Is(err, boom) {
+		t.Errorf("builder error not propagated: %v", err)
+	}
+}

@@ -1,0 +1,76 @@
+package solver
+
+import (
+	"testing"
+
+	"eotora/internal/rng"
+)
+
+func BenchmarkMinimize1D(b *testing.B) {
+	f := func(x float64) float64 { return (x - 2.345) * (x - 2.345) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Minimize1D(f, 0, 10, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinimizeConvexGrad(b *testing.B) {
+	grad := func(x float64) float64 { return 2 * (x - 2.345) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinimizeConvexGrad(grad, 0, 10, 1e-12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoordinateDescent(b *testing.B) {
+	f := func(v []float64) float64 {
+		s := 0.0
+		for i, x := range v {
+			d := x - float64(i)
+			s += d * d
+		}
+		return s
+	}
+	lo := make([]float64, 16)
+	hi := make([]float64, 16)
+	for i := range hi {
+		lo[i] = -20
+		hi[i] = 20
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := CoordinateDescent(f, lo, hi, 8, 1e-10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBranchAndBound(b *testing.B) {
+	src := rng.New(1)
+	q := randomQCAP(src, 10, 4, 6)
+	inc, incCost, err := Greedy(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BranchAndBound(q, BnBConfig{Incumbent: inc, IncumbentCost: incCost}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	src := rng.New(2)
+	q := randomQCAP(src, 50, 8, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Greedy(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

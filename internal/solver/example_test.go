@@ -1,0 +1,23 @@
+package solver_test
+
+import (
+	"fmt"
+	"log"
+
+	"eotora/internal/solver"
+)
+
+// ExampleMinimize1D minimizes a convex frequency/energy tradeoff like the
+// per-server P2-B subproblem: latency falls in ω, energy rises.
+func ExampleMinimize1D() {
+	objective := func(w float64) float64 {
+		return 10/w + 0.5*w*w // V·A/ω + Q·p·g(ω)
+	}
+	w, fw, err := solver.Minimize1D(objective, 1, 4, 1e-9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ω* = %.3f, objective %.3f\n", w, fw)
+	// Output:
+	// ω* = 2.154, objective 6.962
+}

@@ -1,0 +1,26 @@
+package topology_test
+
+import (
+	"fmt"
+	"log"
+
+	"eotora/internal/rng"
+	"eotora/internal/topology"
+)
+
+// ExampleGenerate builds the paper's Section VI-A deployment and inspects
+// its connectivity.
+func ExampleGenerate() {
+	net, err := topology.Generate(topology.DefaultSpec(100), rng.New(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stations, rooms, servers, devices := net.Counts()
+	fmt.Printf("%d stations, %d rooms, %d servers, %d devices\n", stations, rooms, servers, devices)
+	fmt.Println("servers reachable from bs-0:", len(net.ReachableServers(0)))
+	fmt.Println("feasible:", net.CheckFeasible() == nil)
+	// Output:
+	// 6 stations, 2 rooms, 16 servers, 100 devices
+	// servers reachable from bs-0: 8
+	// feasible: true
+}

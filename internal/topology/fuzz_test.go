@@ -1,0 +1,48 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"eotora/internal/rng"
+)
+
+// FuzzReadJSON checks the topology decoder never panics and that anything
+// it accepts is a valid, finalized network.
+func FuzzReadJSON(f *testing.F) {
+	// Seed with a real serialized network plus malformed variants.
+	net, err := Generate(DefaultSpec(3), rng.New(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("{}")
+	f.Add("[1,2,3]")
+	f.Add(`{"base_stations": null}`)
+	f.Add(strings.ReplaceAll(buf.String(), "low-band", "no-band"))
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted networks must be internally consistent.
+		if err := got.CheckFeasible(); err != nil {
+			// Feasibility is scenario-dependent, not a decoder invariant;
+			// only structural validity is required here.
+			_ = err
+		}
+		if got.ReachableServers(0) == nil && len(got.BaseStations) > 0 && len(got.BaseStations[0].Rooms) > 0 {
+			// A finalized network with a connected station must resolve
+			// its reachable servers (possibly empty only if the room has
+			// no servers).
+			if len(got.ServersInRoom(got.BaseStations[0].Rooms[0])) > 0 {
+				t.Error("accepted network not finalized")
+			}
+		}
+	})
+}

@@ -1,0 +1,349 @@
+package topology
+
+import (
+	"fmt"
+
+	"eotora/internal/rng"
+	"eotora/internal/units"
+)
+
+// Layout selects how mid-band base stations are placed.
+type Layout int
+
+// Layouts.
+const (
+	// LayoutRandom scatters stations uniformly (the default; matches the
+	// paper's random deployment).
+	LayoutRandom Layout = iota
+	// LayoutHex places mid-band stations on a hexagonal lattice centered
+	// in the area — the classic cellular planning layout. Umbrella
+	// stations remain random.
+	LayoutHex
+)
+
+func (l Layout) String() string {
+	switch l {
+	case LayoutRandom:
+		return "random"
+	case LayoutHex:
+		return "hex"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// Spec parameterizes the random scenario generator. The zero value is not
+// usable; start from DefaultSpec (the paper's Section VI-A configuration)
+// and override fields as needed.
+type Spec struct {
+	// Stations is K, the number of base stations.
+	Stations int
+	// Rooms is M, the number of edge-server rooms.
+	Rooms int
+	// ServersPerRoom is N_m for every room (the paper uses 8 per room).
+	ServersPerRoom int
+	// Devices is I, the number of mobile devices.
+	Devices int
+
+	// AreaSize is the side length (meters) of the square deployment area.
+	AreaSize float64
+	// UmbrellaStations is how many stations are low-band with coverage of
+	// the whole area; the rest are mid-band. At least one umbrella station
+	// guarantees every device always has a feasible choice, matching the
+	// paper's implicit assumption that constraint (1)–(3) is satisfiable.
+	UmbrellaStations int
+	// MidBandRadius is the coverage radius (meters) of mid-band stations.
+	MidBandRadius float64
+
+	// AccessBandwidthMin/Max bound W_k^A (drawn uniformly; paper: 50–100 MHz).
+	AccessBandwidthMin, AccessBandwidthMax units.Frequency
+	// FronthaulBandwidthMin/Max bound W_k^F (paper: 0.5–1 GHz).
+	FronthaulBandwidthMin, FronthaulBandwidthMax units.Frequency
+	// FronthaulSE is h_k^F for every station (paper: 10 bps/Hz).
+	FronthaulSE units.SpectralEfficiency
+	// WirelessFronthaul, when true, gives every station millimeter-wave
+	// fronthaul connected to every room instead of the paper's default of
+	// wired fiber to one random room.
+	WirelessFronthaul bool
+
+	// SmallCores/LargeCores are the two server sizes (paper: 64 and 128,
+	// half of the servers each).
+	SmallCores, LargeCores int
+	// FreqMin/FreqMax are the per-core clock bounds (paper: i7-3770K
+	// range, 1.8–3.6 GHz).
+	FreqMin, FreqMax units.Frequency
+
+	// SuitabilityMin/Max bound σ_{i,n} (paper: 0.5–1).
+	SuitabilityMin, SuitabilityMax float64
+
+	// DeviceSpeedMax is the maximum mobility speed (m/s); speeds are drawn
+	// uniformly from [0, DeviceSpeedMax].
+	DeviceSpeedMax float64
+
+	// Layout places the mid-band stations (LayoutRandom or LayoutHex).
+	Layout Layout
+}
+
+// DefaultSpec returns the paper's Section VI-A simulation configuration:
+// six base stations, two server rooms with eight servers each, mid-band
+// n77 access links of 50–100 MHz, wired 0.5–1 GHz fronthaul at 10 bps/Hz,
+// 64/128-core servers clocked 1.8–3.6 GHz, and suitabilities in [0.5, 1].
+func DefaultSpec(devices int) Spec {
+	return Spec{
+		Stations:              6,
+		Rooms:                 2,
+		ServersPerRoom:        8,
+		Devices:               devices,
+		AreaSize:              2000,
+		UmbrellaStations:      2,
+		MidBandRadius:         600,
+		AccessBandwidthMin:    50 * units.MHz,
+		AccessBandwidthMax:    100 * units.MHz,
+		FronthaulBandwidthMin: 500 * units.MHz,
+		FronthaulBandwidthMax: 1000 * units.MHz,
+		FronthaulSE:           10,
+		SmallCores:            64,
+		LargeCores:            128,
+		FreqMin:               1.8 * units.GHz,
+		FreqMax:               3.6 * units.GHz,
+		SuitabilityMin:        0.5,
+		SuitabilityMax:        1.0,
+		DeviceSpeedMax:        1.5, // pedestrian
+	}
+}
+
+// Validate reports whether the spec is internally consistent.
+func (s Spec) Validate() error {
+	switch {
+	case s.Stations <= 0:
+		return fmt.Errorf("topology: spec needs at least one station, got %d", s.Stations)
+	case s.Rooms <= 0:
+		return fmt.Errorf("topology: spec needs at least one room, got %d", s.Rooms)
+	case s.ServersPerRoom <= 0:
+		return fmt.Errorf("topology: spec needs servers per room > 0, got %d", s.ServersPerRoom)
+	case s.Devices <= 0:
+		return fmt.Errorf("topology: spec needs at least one device, got %d", s.Devices)
+	case s.AreaSize <= 0:
+		return fmt.Errorf("topology: spec needs positive area, got %v", s.AreaSize)
+	case s.UmbrellaStations < 0 || s.UmbrellaStations > s.Stations:
+		return fmt.Errorf("topology: umbrella stations %d outside [0, %d]", s.UmbrellaStations, s.Stations)
+	case s.UmbrellaStations < s.Stations && s.MidBandRadius <= 0:
+		return fmt.Errorf("topology: mid-band stations need positive radius, got %v", s.MidBandRadius)
+	case s.AccessBandwidthMin <= 0 || s.AccessBandwidthMax < s.AccessBandwidthMin:
+		return fmt.Errorf("topology: invalid access bandwidth range [%v, %v]", s.AccessBandwidthMin, s.AccessBandwidthMax)
+	case s.FronthaulBandwidthMin <= 0 || s.FronthaulBandwidthMax < s.FronthaulBandwidthMin:
+		return fmt.Errorf("topology: invalid fronthaul bandwidth range [%v, %v]", s.FronthaulBandwidthMin, s.FronthaulBandwidthMax)
+	case s.FronthaulSE <= 0:
+		return fmt.Errorf("topology: invalid fronthaul spectral efficiency %v", s.FronthaulSE)
+	case s.SmallCores <= 0 || s.LargeCores <= 0:
+		return fmt.Errorf("topology: invalid core counts %d/%d", s.SmallCores, s.LargeCores)
+	case s.FreqMin <= 0 || s.FreqMax < s.FreqMin:
+		return fmt.Errorf("topology: invalid frequency range [%v, %v]", s.FreqMin, s.FreqMax)
+	case s.SuitabilityMin <= 0 || s.SuitabilityMax > 1 || s.SuitabilityMax < s.SuitabilityMin:
+		return fmt.Errorf("topology: invalid suitability range [%v, %v]", s.SuitabilityMin, s.SuitabilityMax)
+	case s.DeviceSpeedMax < 0:
+		return fmt.Errorf("topology: negative device speed %v", s.DeviceSpeedMax)
+	}
+	return nil
+}
+
+// Generate builds a random network from the spec using the given random
+// stream. The returned network is finalized and feasibility-checked.
+func Generate(spec Spec, src *rng.Source) (*Network, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	n := &Network{}
+
+	// Rooms sit at fixed fractions of the area so mid-band stations near
+	// either room have plausible fronthaul distances.
+	for m := 0; m < spec.Rooms; m++ {
+		frac := (float64(m) + 0.5) / float64(spec.Rooms)
+		n.Rooms = append(n.Rooms, Room{
+			ID:   m,
+			Name: fmt.Sprintf("room-%d", m),
+			Pos:  Point{X: frac * spec.AreaSize, Y: 0.5 * spec.AreaSize},
+		})
+	}
+
+	// Base stations: the first UmbrellaStations are low-band with coverage
+	// of the whole area (radius = area diagonal); the rest are mid-band,
+	// placed per spec.Layout.
+	diag := spec.AreaSize * 1.4143 // ≥ diagonal of the square
+	hexPositions := hexLattice(spec.AreaSize, spec.MidBandRadius, spec.Stations-spec.UmbrellaStations)
+	for k := 0; k < spec.Stations; k++ {
+		bs := BaseStation{
+			ID:                 k,
+			Name:               fmt.Sprintf("bs-%d", k),
+			Pos:                Point{X: src.Uniform(0, spec.AreaSize), Y: src.Uniform(0, spec.AreaSize)},
+			AccessBandwidth:    units.Frequency(src.Uniform(float64(spec.AccessBandwidthMin), float64(spec.AccessBandwidthMax))),
+			FronthaulBandwidth: units.Frequency(src.Uniform(float64(spec.FronthaulBandwidthMin), float64(spec.FronthaulBandwidthMax))),
+			FronthaulSE:        spec.FronthaulSE,
+		}
+		if k < spec.UmbrellaStations {
+			bs.Band = LowBand
+			bs.CoverageRadius = diag
+		} else {
+			bs.Band = MidBand
+			bs.CoverageRadius = spec.MidBandRadius
+			if spec.Layout == LayoutHex {
+				bs.Pos = hexPositions[k-spec.UmbrellaStations]
+			}
+		}
+		if spec.WirelessFronthaul {
+			bs.Fronthaul = WirelessMMWave
+			bs.Rooms = make([]int, spec.Rooms)
+			for m := range bs.Rooms {
+				bs.Rooms[m] = m
+			}
+		} else {
+			bs.Fronthaul = WiredFiber
+			bs.Rooms = []int{src.Intn(spec.Rooms)}
+		}
+		n.BaseStations = append(n.BaseStations, bs)
+	}
+
+	// Servers: half small-core, half large-core within each room, with the
+	// odd server (if any) small.
+	id := 0
+	for m := 0; m < spec.Rooms; m++ {
+		for j := 0; j < spec.ServersPerRoom; j++ {
+			cores := spec.SmallCores
+			if j >= (spec.ServersPerRoom+1)/2 {
+				cores = spec.LargeCores
+			}
+			n.Servers = append(n.Servers, Server{
+				ID:      id,
+				Name:    fmt.Sprintf("srv-%d-%d", m, j),
+				Room:    m,
+				Cores:   cores,
+				MinFreq: spec.FreqMin,
+				MaxFreq: spec.FreqMax,
+			})
+			id++
+		}
+	}
+
+	// Devices: uniform positions, uniform speeds.
+	for i := 0; i < spec.Devices; i++ {
+		n.Devices = append(n.Devices, Device{
+			ID:    i,
+			Name:  fmt.Sprintf("md-%d", i),
+			Pos:   Point{X: src.Uniform(0, spec.AreaSize), Y: src.Uniform(0, spec.AreaSize)},
+			Speed: src.Uniform(0, spec.DeviceSpeedMax),
+		})
+	}
+
+	// Suitability σ_{i,n} ~ U[min, max].
+	n.Suitability = make([][]float64, spec.Devices)
+	for i := range n.Suitability {
+		row := make([]float64, len(n.Servers))
+		for j := range row {
+			row[j] = src.Uniform(spec.SuitabilityMin, spec.SuitabilityMax)
+		}
+		n.Suitability[i] = row
+	}
+
+	if err := n.Finalize(); err != nil {
+		return nil, fmt.Errorf("topology: generated network invalid: %w", err)
+	}
+	if err := n.CheckFeasible(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// hexLattice returns n lattice points of a hexagonal grid with spacing
+// √3·radius (adjacent cells just overlap), ordered by distance from the
+// area center so the densest coverage sits in the middle — the classic
+// cellular planning layout.
+func hexLattice(area, radius float64, n int) []Point {
+	if n <= 0 {
+		return nil
+	}
+	if radius <= 0 {
+		radius = area / 4
+	}
+	center := Point{X: area / 2, Y: area / 2}
+	spacing := radius * 1.7320508 // √3
+	// Generate a grid generously larger than needed, then take the n
+	// points closest to the center.
+	rings := 1
+	for (2*rings+1)*(2*rings+1) < 4*n+9 {
+		rings++
+	}
+	var pts []Point
+	for row := -rings; row <= rings; row++ {
+		offset := 0.0
+		if row%2 != 0 {
+			offset = spacing / 2
+		}
+		for col := -rings; col <= rings; col++ {
+			pts = append(pts, Point{
+				X: center.X + float64(col)*spacing + offset,
+				Y: center.Y + float64(row)*spacing*0.8660254, // √3/2
+			})
+		}
+	}
+	// Selection sort the n closest points (n is small).
+	for i := 0; i < n && i < len(pts); i++ {
+		best := i
+		for j := i + 1; j < len(pts); j++ {
+			if center.DistanceTo(pts[j]) < center.DistanceTo(pts[best]) {
+				best = j
+			}
+		}
+		pts[i], pts[best] = pts[best], pts[i]
+	}
+	if n > len(pts) {
+		n = len(pts)
+	}
+	return pts[:n]
+}
+
+// UrbanSpec is a dense city deployment: more, smaller mid-band cells over
+// a compact area, faster devices (vehicles mixed with pedestrians), and
+// all large-core servers in more rooms.
+func UrbanSpec(devices int) Spec {
+	s := DefaultSpec(devices)
+	s.Stations = 10
+	s.UmbrellaStations = 2
+	s.AreaSize = 1500
+	s.MidBandRadius = 350
+	s.Rooms = 4
+	s.ServersPerRoom = 4
+	s.DeviceSpeedMax = 8 // mixed pedestrian/vehicular
+	s.Layout = LayoutHex
+	return s
+}
+
+// RuralSpec is a sparse deployment: few wide low-band cells over a large
+// area, a single server room, slower channel quality (longer distances
+// are captured by the larger coverage radius feeding the distance-based
+// channel model).
+func RuralSpec(devices int) Spec {
+	s := DefaultSpec(devices)
+	s.Stations = 3
+	s.UmbrellaStations = 3 // all low-band
+	s.AreaSize = 8000
+	s.Rooms = 1
+	s.ServersPerRoom = 8
+	s.DeviceSpeedMax = 15 // vehicular
+	return s
+}
+
+// CampusSpec is a single-site deployment: one umbrella plus dense small
+// cells, one well-provisioned room with wireless fronthaul everywhere.
+func CampusSpec(devices int) Spec {
+	s := DefaultSpec(devices)
+	s.Stations = 8
+	s.UmbrellaStations = 1
+	s.AreaSize = 800
+	s.MidBandRadius = 200
+	s.Rooms = 1
+	s.ServersPerRoom = 12
+	s.WirelessFronthaul = true
+	s.Layout = LayoutHex
+	return s
+}

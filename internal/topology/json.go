@@ -1,0 +1,175 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"eotora/internal/units"
+)
+
+// networkJSON is the serialized form of a Network. The wire format uses
+// explicit field names and plain numbers so files stay readable and
+// stable across refactors of the in-memory types.
+type networkJSON struct {
+	BaseStations []stationJSON `json:"base_stations"`
+	Rooms        []roomJSON    `json:"rooms"`
+	Servers      []serverJSON  `json:"servers"`
+	Devices      []deviceJSON  `json:"devices"`
+	Suitability  [][]float64   `json:"suitability"`
+}
+
+type stationJSON struct {
+	ID                   int     `json:"id"`
+	Name                 string  `json:"name,omitempty"`
+	Band                 string  `json:"band"`
+	X                    float64 `json:"x"`
+	Y                    float64 `json:"y"`
+	CoverageRadius       float64 `json:"coverage_radius_m"`
+	AccessBandwidthHz    float64 `json:"access_bandwidth_hz"`
+	FronthaulBandwidthHz float64 `json:"fronthaul_bandwidth_hz"`
+	FronthaulSE          float64 `json:"fronthaul_se_bps_hz"`
+	Fronthaul            string  `json:"fronthaul"`
+	Rooms                []int   `json:"rooms"`
+}
+
+type roomJSON struct {
+	ID   int     `json:"id"`
+	Name string  `json:"name,omitempty"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+}
+
+type serverJSON struct {
+	ID        int     `json:"id"`
+	Name      string  `json:"name,omitempty"`
+	Room      int     `json:"room"`
+	Cores     int     `json:"cores"`
+	MinFreqHz float64 `json:"min_freq_hz"`
+	MaxFreqHz float64 `json:"max_freq_hz"`
+}
+
+type deviceJSON struct {
+	ID    int     `json:"id"`
+	Name  string  `json:"name,omitempty"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Speed float64 `json:"speed_mps"`
+}
+
+func bandToString(b BandClass) string { return b.String() }
+
+func bandFromString(s string) (BandClass, error) {
+	switch s {
+	case "low-band":
+		return LowBand, nil
+	case "mid-band":
+		return MidBand, nil
+	case "high-band":
+		return HighBand, nil
+	default:
+		return 0, fmt.Errorf("topology: unknown band %q", s)
+	}
+}
+
+func fronthaulToString(f FronthaulKind) string { return f.String() }
+
+func fronthaulFromString(s string) (FronthaulKind, error) {
+	switch s {
+	case "wired-fiber":
+		return WiredFiber, nil
+	case "wireless-mmwave":
+		return WirelessMMWave, nil
+	default:
+		return 0, fmt.Errorf("topology: unknown fronthaul %q", s)
+	}
+}
+
+// WriteJSON serializes the network as indented JSON.
+func (n *Network) WriteJSON(w io.Writer) error {
+	out := networkJSON{Suitability: n.Suitability}
+	for _, bs := range n.BaseStations {
+		out.BaseStations = append(out.BaseStations, stationJSON{
+			ID:                   bs.ID,
+			Name:                 bs.Name,
+			Band:                 bandToString(bs.Band),
+			X:                    bs.Pos.X,
+			Y:                    bs.Pos.Y,
+			CoverageRadius:       bs.CoverageRadius,
+			AccessBandwidthHz:    bs.AccessBandwidth.Hertz(),
+			FronthaulBandwidthHz: bs.FronthaulBandwidth.Hertz(),
+			FronthaulSE:          bs.FronthaulSE.BpsPerHz(),
+			Fronthaul:            fronthaulToString(bs.Fronthaul),
+			Rooms:                bs.Rooms,
+		})
+	}
+	for _, r := range n.Rooms {
+		out.Rooms = append(out.Rooms, roomJSON{ID: r.ID, Name: r.Name, X: r.Pos.X, Y: r.Pos.Y})
+	}
+	for _, s := range n.Servers {
+		out.Servers = append(out.Servers, serverJSON{
+			ID: s.ID, Name: s.Name, Room: s.Room, Cores: s.Cores,
+			MinFreqHz: s.MinFreq.Hertz(), MaxFreqHz: s.MaxFreq.Hertz(),
+		})
+	}
+	for _, d := range n.Devices {
+		out.Devices = append(out.Devices, deviceJSON{
+			ID: d.ID, Name: d.Name, X: d.Pos.X, Y: d.Pos.Y, Speed: d.Speed,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a network written by WriteJSON and finalizes it,
+// so the result is validated and ready to use.
+func ReadJSON(r io.Reader) (*Network, error) {
+	var in networkJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("topology: decoding network JSON: %w", err)
+	}
+	n := &Network{Suitability: in.Suitability}
+	for _, bs := range in.BaseStations {
+		band, err := bandFromString(bs.Band)
+		if err != nil {
+			return nil, err
+		}
+		fh, err := fronthaulFromString(bs.Fronthaul)
+		if err != nil {
+			return nil, err
+		}
+		n.BaseStations = append(n.BaseStations, BaseStation{
+			ID:                 bs.ID,
+			Name:               bs.Name,
+			Band:               band,
+			Pos:                Point{X: bs.X, Y: bs.Y},
+			CoverageRadius:     bs.CoverageRadius,
+			AccessBandwidth:    units.Frequency(bs.AccessBandwidthHz),
+			FronthaulBandwidth: units.Frequency(bs.FronthaulBandwidthHz),
+			FronthaulSE:        units.SpectralEfficiency(bs.FronthaulSE),
+			Fronthaul:          fh,
+			Rooms:              bs.Rooms,
+		})
+	}
+	for _, room := range in.Rooms {
+		n.Rooms = append(n.Rooms, Room{ID: room.ID, Name: room.Name, Pos: Point{X: room.X, Y: room.Y}})
+	}
+	for _, s := range in.Servers {
+		n.Servers = append(n.Servers, Server{
+			ID: s.ID, Name: s.Name, Room: s.Room, Cores: s.Cores,
+			MinFreq: units.Frequency(s.MinFreqHz), MaxFreq: units.Frequency(s.MaxFreqHz),
+		})
+	}
+	for _, d := range in.Devices {
+		n.Devices = append(n.Devices, Device{
+			ID: d.ID, Name: d.Name, Pos: Point{X: d.X, Y: d.Y}, Speed: d.Speed,
+		})
+	}
+	if err := n.Finalize(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

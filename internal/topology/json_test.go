@@ -1,0 +1,101 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"eotora/internal/rng"
+)
+
+func TestJSONRoundtrip(t *testing.T) {
+	orig, err := Generate(DefaultSpec(12), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k1, m1, n1, i1 := orig.Counts()
+	k2, m2, n2, i2 := got.Counts()
+	if k1 != k2 || m1 != m2 || n1 != n2 || i1 != i2 {
+		t.Fatalf("counts changed: (%d,%d,%d,%d) → (%d,%d,%d,%d)", k1, m1, n1, i1, k2, m2, n2, i2)
+	}
+	for k := range orig.BaseStations {
+		a, b := orig.BaseStations[k], got.BaseStations[k]
+		if a.Band != b.Band || a.Pos != b.Pos || a.CoverageRadius != b.CoverageRadius ||
+			a.AccessBandwidth != b.AccessBandwidth || a.FronthaulBandwidth != b.FronthaulBandwidth ||
+			a.FronthaulSE != b.FronthaulSE || a.Fronthaul != b.Fronthaul || len(a.Rooms) != len(b.Rooms) {
+			t.Errorf("station %d changed: %+v → %+v", k, a, b)
+		}
+	}
+	for n := range orig.Servers {
+		a, b := orig.Servers[n], got.Servers[n]
+		if a.Room != b.Room || a.Cores != b.Cores || a.MinFreq != b.MinFreq || a.MaxFreq != b.MaxFreq {
+			t.Errorf("server %d changed: %+v → %+v", n, a, b)
+		}
+	}
+	for i := range orig.Devices {
+		if orig.Devices[i].Pos != got.Devices[i].Pos || orig.Devices[i].Speed != got.Devices[i].Speed {
+			t.Errorf("device %d changed", i)
+		}
+	}
+	for i := range orig.Suitability {
+		for j := range orig.Suitability[i] {
+			if orig.Suitability[i][j] != got.Suitability[i][j] {
+				t.Fatalf("suitability[%d][%d] changed", i, j)
+			}
+		}
+	}
+	// Roundtrip result must be finalized: connectivity caches usable.
+	if got.ReachableServers(0) == nil {
+		t.Error("roundtripped network not finalized")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"garbage", "{not json"},
+		{"unknown field", `{"bogus": 1}`},
+		{"unknown band", `{"base_stations":[{"id":0,"band":"x-band","fronthaul":"wired-fiber","rooms":[0]}],"rooms":[{"id":0}],"servers":[],"devices":[],"suitability":[]}`},
+		{"unknown fronthaul", `{"base_stations":[{"id":0,"band":"low-band","fronthaul":"carrier-pigeon","rooms":[0]}],"rooms":[{"id":0}],"servers":[],"devices":[],"suitability":[]}`},
+		{"fails validation", `{"base_stations":[],"rooms":[],"servers":[],"devices":[],"suitability":[]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(tt.in)); err == nil {
+				t.Error("ReadJSON accepted invalid input")
+			}
+		})
+	}
+}
+
+func TestJSONStableFieldNames(t *testing.T) {
+	// The wire format is a contract; spot-check key field names.
+	net, err := Generate(DefaultSpec(3), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"base_stations"`, `"access_bandwidth_hz"`, `"fronthaul_se_bps_hz"`,
+		`"coverage_radius_m"`, `"min_freq_hz"`, `"suitability"`, `"speed_mps"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serialized network missing %s", want)
+		}
+	}
+}

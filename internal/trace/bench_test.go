@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"testing"
+
+	"eotora/internal/rng"
+	"eotora/internal/topology"
+)
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	net, err := topology.Generate(topology.DefaultSpec(100), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := NewGenerator(net, DefaultGeneratorConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Next()
+	}
+}
+
+func BenchmarkPriceProcess(b *testing.B) {
+	p := NewPriceProcess(DefaultPriceConfig(), rng.New(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Next()
+	}
+}
+
+func BenchmarkChannelProcess(b *testing.B) {
+	net, err := topology.Generate(topology.DefaultSpec(100), rng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch := NewChannelProcess(DefaultChannelConfig(), net, rng.New(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Next()
+	}
+}

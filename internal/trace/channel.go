@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"math"
+
+	"eotora/internal/rng"
+	"eotora/internal/topology"
+	"eotora/internal/units"
+)
+
+// ChannelConfig parameterizes the access-link channel model.
+type ChannelConfig struct {
+	// SEMin/SEMax bound the spectral efficiency (paper: 15–50 bps/Hz).
+	SEMin, SEMax units.SpectralEfficiency
+	// ARCoeff is the AR(1) persistence of the per-pair fading process in
+	// [0, 1); higher values make channels change more slowly.
+	ARCoeff float64
+	// NoiseSigma is the fading innovation scale in bps/Hz.
+	NoiseSigma float64
+	// SlotSeconds converts device speeds into per-slot displacement.
+	SlotSeconds float64
+}
+
+// DefaultChannelConfig returns the paper's channel ranges with moderate
+// slot-to-slot correlation and hourly slots.
+func DefaultChannelConfig() ChannelConfig {
+	return ChannelConfig{
+		SEMin:       15,
+		SEMax:       50,
+		ARCoeff:     0.6,
+		NoiseSigma:  4,
+		SlotSeconds: 3600,
+	}
+}
+
+// ChannelProcess evolves device positions under a random-waypoint walk and
+// produces per-(device, station) spectral efficiencies. For a covered pair
+// the efficiency mean-reverts toward a distance-dependent level: devices
+// at the cell edge see the low end of the range, devices under the tower
+// the high end. Uncovered pairs report zero.
+type ChannelProcess struct {
+	cfg ChannelConfig
+	net *topology.Network
+	src *rng.Source
+
+	area      float64
+	positions []topology.Point
+	waypoints []topology.Point
+	fading    [][]float64 // AR(1) deviation per pair, in bps/Hz
+}
+
+// NewChannelProcess returns a channel process over the network's devices
+// and stations. The network must be finalized.
+func NewChannelProcess(cfg ChannelConfig, net *topology.Network, src *rng.Source) *ChannelProcess {
+	_, _, _, devices := net.Counts()
+	stations, _, _, _ := net.Counts()
+	area := 0.0
+	for _, bs := range net.BaseStations {
+		area = math.Max(area, math.Max(bs.Pos.X, bs.Pos.Y))
+	}
+	for _, d := range net.Devices {
+		area = math.Max(area, math.Max(d.Pos.X, d.Pos.Y))
+	}
+	if area <= 0 {
+		area = 1
+	}
+	p := &ChannelProcess{
+		cfg:       cfg,
+		net:       net,
+		src:       src,
+		area:      area,
+		positions: make([]topology.Point, devices),
+		waypoints: make([]topology.Point, devices),
+		fading:    make([][]float64, devices),
+	}
+	for i := range p.positions {
+		p.positions[i] = net.Devices[i].Pos
+		p.waypoints[i] = p.randomWaypoint()
+		p.fading[i] = make([]float64, stations)
+	}
+	return p
+}
+
+func (p *ChannelProcess) randomWaypoint() topology.Point {
+	return topology.Point{X: p.src.Uniform(0, p.area), Y: p.src.Uniform(0, p.area)}
+}
+
+// Positions returns the current device positions (a copy).
+func (p *ChannelProcess) Positions() []topology.Point {
+	return append([]topology.Point(nil), p.positions...)
+}
+
+// step advances every device toward its waypoint by speed × slot length,
+// picking a fresh waypoint on arrival.
+func (p *ChannelProcess) step() {
+	for i := range p.positions {
+		speed := p.net.Devices[i].Speed
+		if speed <= 0 {
+			continue
+		}
+		move := speed * p.cfg.SlotSeconds
+		for move > 0 {
+			cur, wp := p.positions[i], p.waypoints[i]
+			dist := cur.DistanceTo(wp)
+			if dist <= move {
+				p.positions[i] = wp
+				p.waypoints[i] = p.randomWaypoint()
+				move -= dist
+				continue
+			}
+			frac := move / dist
+			p.positions[i] = topology.Point{
+				X: cur.X + frac*(wp.X-cur.X),
+				Y: cur.Y + frac*(wp.Y-cur.Y),
+			}
+			move = 0
+		}
+	}
+}
+
+// Next advances the mobility model one slot and returns the channel matrix
+// h[i][k]; zero entries mark out-of-coverage pairs.
+func (p *ChannelProcess) Next() [][]units.SpectralEfficiency {
+	p.step()
+	stations := len(p.net.BaseStations)
+	out := make([][]units.SpectralEfficiency, len(p.positions))
+	span := float64(p.cfg.SEMax - p.cfg.SEMin)
+	for i := range p.positions {
+		row := make([]units.SpectralEfficiency, stations)
+		for k := range p.net.BaseStations {
+			bs := &p.net.BaseStations[k]
+			dist := bs.Pos.DistanceTo(p.positions[i])
+			if dist > bs.CoverageRadius {
+				p.fading[i][k] = 0 // reset fading memory outside coverage
+				continue
+			}
+			// Distance-dependent level: cell edge → SEMin, tower → SEMax.
+			level := float64(p.cfg.SEMax) - span*dist/bs.CoverageRadius
+			// AR(1) fading around the level.
+			p.fading[i][k] = p.cfg.ARCoeff*p.fading[i][k] + p.src.Normal(0, p.cfg.NoiseSigma)
+			se := rng.Clamp(level+p.fading[i][k], float64(p.cfg.SEMin), float64(p.cfg.SEMax))
+			row[k] = units.SpectralEfficiency(se)
+		}
+		out[i] = row
+	}
+	return out
+}

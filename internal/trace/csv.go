@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"eotora/internal/units"
+)
+
+// LoadColumnCSV parses a CSV stream with a header row and returns the
+// named column as floats. Rows with an empty cell in the column are
+// skipped; malformed numbers are errors. Column matching is
+// case-insensitive.
+func LoadColumnCSV(r io.Reader, column string) ([]float64, error) {
+	if column == "" {
+		return nil, errors.New("trace: empty column name")
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // tolerate ragged rows; the column index governs
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV header: %w", err)
+	}
+	col := -1
+	for i, name := range header {
+		if strings.EqualFold(strings.TrimSpace(name), column) {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return nil, fmt.Errorf("trace: column %q not in header %v", column, header)
+	}
+	var out []float64
+	for line := 2; ; line++ {
+		record, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d: %w", line, err)
+		}
+		if col >= len(record) || strings.TrimSpace(record[col]) == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(record[col]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d column %q: %w", line, column, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("trace: CSV column has no values")
+	}
+	return out, nil
+}
+
+// LoadPriceCSV reads an electricity-price series (in $/MWh) from a CSV
+// column — e.g. the "LBMP ($/MWHr)" column of an NYISO real-time market
+// export. Non-positive prices are rejected: the simulator's cost model
+// assumes markets clear above zero.
+func LoadPriceCSV(r io.Reader, column string) ([]units.Price, error) {
+	vals, err := LoadColumnCSV(r, column)
+	if err != nil {
+		return nil, err
+	}
+	prices := make([]units.Price, len(vals))
+	for i, v := range vals {
+		if v <= 0 {
+			return nil, fmt.Errorf("trace: non-positive price %v at row %d", v, i+1)
+		}
+		prices[i] = units.Price(v)
+	}
+	return prices, nil
+}
+
+// NormalizeLevels rescales an arbitrary non-negative series (e.g. hourly
+// video view counts) into demand levels in [0, 1], for use as
+// GeneratorConfig.DemandLevels.
+func NormalizeLevels(series []float64) ([]float64, error) {
+	if len(series) == 0 {
+		return nil, errors.New("trace: empty series")
+	}
+	lo, hi := series[0], series[0]
+	for _, v := range series {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		out := make([]float64, len(series))
+		for i := range out {
+			out[i] = 0.5
+		}
+		return out, nil
+	}
+	out := make([]float64, len(series))
+	for i, v := range series {
+		out[i] = (v - lo) / (hi - lo)
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"eotora/internal/rng"
+	"eotora/internal/topology"
+	"eotora/internal/units"
+)
+
+const nyisoSample = `Time Stamp,Name,PTID,LBMP ($/MWHr),Marginal Cost Losses ($/MWHr)
+01/01/2023 00:00,N.Y.C.,61761,35.17,1.21
+01/01/2023 01:00,N.Y.C.,61761,32.50,1.10
+01/01/2023 02:00,N.Y.C.,61761,,0.95
+01/01/2023 03:00,N.Y.C.,61761,28.04,0.90
+`
+
+func TestLoadColumnCSV(t *testing.T) {
+	vals, err := LoadColumnCSV(strings.NewReader(nyisoSample), "LBMP ($/MWHr)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{35.17, 32.50, 28.04} // empty cell skipped
+	if len(vals) != len(want) {
+		t.Fatalf("vals = %v, want %v", vals, want)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Errorf("vals[%d] = %v, want %v", i, vals[i], want[i])
+		}
+	}
+}
+
+func TestLoadColumnCSVCaseInsensitive(t *testing.T) {
+	vals, err := LoadColumnCSV(strings.NewReader("Price\n10\n20\n"), "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != 10 {
+		t.Errorf("vals = %v", vals)
+	}
+}
+
+func TestLoadColumnCSVErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		csv    string
+		column string
+	}{
+		{"empty column name", "a\n1\n", ""},
+		{"missing column", "a,b\n1,2\n", "c"},
+		{"malformed number", "a\nnot-a-number\n", "a"},
+		{"no rows", "a\n", "a"},
+		{"empty stream", "", "a"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := LoadColumnCSV(strings.NewReader(tt.csv), tt.column); err == nil {
+				t.Error("accepted invalid input")
+			}
+		})
+	}
+}
+
+func TestLoadPriceCSV(t *testing.T) {
+	prices, err := LoadPriceCSV(strings.NewReader(nyisoSample), "LBMP ($/MWHr)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prices) != 3 || prices[0] != 35.17 {
+		t.Errorf("prices = %v", prices)
+	}
+	if _, err := LoadPriceCSV(strings.NewReader("p\n-5\n"), "p"); err == nil {
+		t.Error("negative price accepted")
+	}
+	if _, err := LoadPriceCSV(strings.NewReader("p\n0\n"), "p"); err == nil {
+		t.Error("zero price accepted")
+	}
+}
+
+func TestNormalizeLevels(t *testing.T) {
+	got, err := NormalizeLevels([]float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("levels[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Constant series → all 0.5.
+	flat, err := NormalizeLevels([]float64{7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat[0] != 0.5 || flat[1] != 0.5 {
+		t.Errorf("flat levels = %v", flat)
+	}
+	if _, err := NormalizeLevels(nil); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestGeneratorPriceSeriesReplay(t *testing.T) {
+	net, err := topology.Generate(topology.DefaultSpec(5), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := []units.Price{10, 20, 30}
+	cfg := DefaultGeneratorConfig()
+	cfg.PriceSeries = series
+	g, err := NewGenerator(net, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 7; s++ {
+		st := g.Next()
+		if want := series[s%3]; st.Price != want {
+			t.Fatalf("slot %d price = %v, want %v", s+1, st.Price, want)
+		}
+	}
+}
+
+func TestDemandLevelsReplay(t *testing.T) {
+	cfg := DefaultDemandConfig()
+	cfg.Levels = []float64{0, 1}
+	cfg.TrendWeight = 1 // pure replay: no noise
+	d := NewDemandProcess(cfg, 4, rng.New(2))
+	// Slot 0 → level 0 → TaskMin; slot 1 → level 1 → TaskMax.
+	tasks, _ := d.Next()
+	for i, f := range tasks {
+		if f != cfg.TaskMin {
+			t.Errorf("slot 0 device %d task %v, want min %v", i, f, cfg.TaskMin)
+		}
+	}
+	tasks, _ = d.Next()
+	for i, f := range tasks {
+		if f != cfg.TaskMax {
+			t.Errorf("slot 1 device %d task %v, want max %v", i, f, cfg.TaskMax)
+		}
+	}
+}
+
+func TestDemandLevelsClamped(t *testing.T) {
+	cfg := DefaultDemandConfig()
+	cfg.Levels = []float64{-0.5, 1.5}
+	cfg.TrendWeight = 1
+	d := NewDemandProcess(cfg, 2, rng.New(3))
+	tasks, _ := d.Next()
+	if tasks[0] != cfg.TaskMin {
+		t.Errorf("below-range level not clamped: %v", tasks[0])
+	}
+	tasks, _ = d.Next()
+	if tasks[0] != cfg.TaskMax {
+		t.Errorf("above-range level not clamped: %v", tasks[0])
+	}
+}

@@ -1,0 +1,39 @@
+package trace_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"eotora/internal/trace"
+)
+
+// ExampleLoadPriceCSV feeds a real NYISO-format export into the simulator's
+// price model.
+func ExampleLoadPriceCSV() {
+	csv := `Time Stamp,Name,LBMP ($/MWHr)
+01/01/2026 00:00,N.Y.C.,28.41
+01/01/2026 01:00,N.Y.C.,26.03
+01/01/2026 02:00,N.Y.C.,24.92
+`
+	prices, err := trace.LoadPriceCSV(strings.NewReader(csv), "LBMP ($/MWHr)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(prices), "prices, first:", prices[0])
+	// Output:
+	// 3 prices, first: $28.41/MWh
+}
+
+// ExampleNormalizeLevels turns a raw demand trace (e.g. hourly video view
+// counts) into the [0, 1] levels the demand process replays.
+func ExampleNormalizeLevels() {
+	views := []float64{1200, 4800, 3000}
+	levels, err := trace.NormalizeLevels(views)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.2f\n", levels)
+	// Output:
+	// [0.00 1.00 0.50]
+}

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadColumnCSV checks the CSV loader never panics and never returns
+// both a value and an error on arbitrary input.
+func FuzzLoadColumnCSV(f *testing.F) {
+	f.Add("price\n10\n20\n", "price")
+	f.Add(nyisoSample, "LBMP ($/MWHr)")
+	f.Add("", "x")
+	f.Add("a,b\n1\n2,3,4\n", "b")
+	f.Add("p\nNaN\n", "p")
+	f.Add("p\n1e309\n", "p")
+	f.Add("\"q,uoted\"\n5\n", "q,uoted")
+	f.Fuzz(func(t *testing.T, csv, column string) {
+		vals, err := LoadColumnCSV(strings.NewReader(csv), column)
+		if err != nil && vals != nil {
+			t.Error("both values and error returned")
+		}
+		if err == nil && len(vals) == 0 {
+			t.Error("nil error with empty values")
+		}
+	})
+}
+
+// FuzzLoadPriceCSV checks the price loader rejects non-positive values and
+// never panics.
+func FuzzLoadPriceCSV(f *testing.F) {
+	f.Add("p\n50\n")
+	f.Add("p\n-1\n")
+	f.Add("p\n0\n")
+	f.Fuzz(func(t *testing.T, csv string) {
+		prices, err := LoadPriceCSV(strings.NewReader(csv), "p")
+		if err != nil {
+			return
+		}
+		for _, p := range prices {
+			if p <= 0 {
+				t.Errorf("non-positive price %v accepted", p)
+			}
+		}
+	})
+}

@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"fmt"
+
+	"eotora/internal/rng"
+	"eotora/internal/topology"
+	"eotora/internal/units"
+)
+
+// GeneratorConfig assembles the three state processes into a full β_t
+// source for a network.
+type GeneratorConfig struct {
+	Price   PriceConfig
+	Demand  DemandConfig
+	Channel ChannelConfig
+
+	// IID, when true, removes the periodic trends from all processes
+	// (Period = 1, TrendWeight = 0), producing the iid system states that
+	// the related work assumes. Used by the non-iid ablation.
+	IID bool
+
+	// FronthaulJitterSigma, when positive, makes the fronthaul spectral
+	// efficiencies h_k^F vary per slot (multiplicative lognormal jitter),
+	// exercising the paper's claim that the algorithm also handles
+	// time-varying fronthaul.
+	FronthaulJitterSigma float64
+
+	// PriceSeries, when non-empty, replaces the synthetic price process
+	// with a cyclic replay of the given series — e.g. real NYISO prices
+	// loaded with LoadPriceCSV. The series should span whole periods for
+	// the DPP analysis to apply cleanly.
+	PriceSeries []units.Price
+
+	// FlashCrowd optionally superimposes a Markov-switching demand surge
+	// (see FlashCrowdConfig) on top of the periodic trend.
+	FlashCrowd FlashCrowdConfig
+}
+
+// DefaultGeneratorConfig returns the paper's Section VI-A state processes.
+func DefaultGeneratorConfig() GeneratorConfig {
+	return GeneratorConfig{
+		Price:   DefaultPriceConfig(),
+		Demand:  DefaultDemandConfig(),
+		Channel: DefaultChannelConfig(),
+	}
+}
+
+// Generator produces β_t for a network. It implements Source.
+type Generator struct {
+	net     *topology.Network
+	cfg     GeneratorConfig
+	price   *PriceProcess
+	demand  *DemandProcess
+	channel *ChannelProcess
+	fhSrc   *rng.Source
+	crowd   *regime
+	slot    int
+	// InFlash reports whether the last generated slot was in the flash
+	// regime (observability for experiments).
+	InFlash bool
+}
+
+var _ Source = (*Generator)(nil)
+
+// NewGenerator builds a state generator for the network. The seed controls
+// all randomness; two generators with equal configuration and seed produce
+// identical state sequences.
+func NewGenerator(net *topology.Network, cfg GeneratorConfig, seed int64) (*Generator, error) {
+	_, _, _, devices := net.Counts()
+	if devices == 0 {
+		return nil, fmt.Errorf("trace: network has no devices")
+	}
+	if cfg.IID {
+		cfg.Price.Period = 1
+		cfg.Demand.Period = 1
+		cfg.Demand.TrendWeight = 0
+	}
+	root := rng.New(seed)
+	g := &Generator{
+		net:     net,
+		cfg:     cfg,
+		price:   NewPriceProcess(cfg.Price, root.Derive("price")),
+		demand:  NewDemandProcess(cfg.Demand, devices, root.Derive("demand")),
+		channel: NewChannelProcess(cfg.Channel, net, root.Derive("channel")),
+		fhSrc:   root.Derive("fronthaul"),
+		crowd:   newRegime(cfg.FlashCrowd, root.Derive("flashcrowd")),
+	}
+	return g, nil
+}
+
+// Period implements Source, returning the demand/price trend period D.
+// Weekly patterns (weekend discounts) extend the effective period to a
+// full 7-day week.
+func (g *Generator) Period() int {
+	if g.cfg.IID {
+		return 1
+	}
+	period := g.cfg.Demand.Period
+	if g.cfg.Demand.WeekendDiscount > 0 || g.cfg.Price.WeekendDiscount > 0 {
+		period *= 7
+	}
+	return period
+}
+
+// Next implements Source.
+func (g *Generator) Next() *State {
+	g.slot++
+	tasks, data := g.demand.Next()
+	g.InFlash = g.crowd.step()
+	if g.InFlash {
+		scale := g.cfg.FlashCrowd.Scale
+		for i := range tasks {
+			tasks[i] = units.Cycles(rng.Clamp(float64(tasks[i])*scale,
+				float64(g.cfg.Demand.TaskMin), float64(g.cfg.Demand.TaskMax)*scale))
+			data[i] = units.DataSize(rng.Clamp(float64(data[i])*scale,
+				float64(g.cfg.Demand.DataMin), float64(g.cfg.Demand.DataMax)*scale))
+		}
+	}
+	st := &State{
+		Slot:        g.slot,
+		TaskSizes:   tasks,
+		DataLengths: data,
+		Channels:    g.channel.Next(),
+		FronthaulSE: g.fronthaul(),
+		Price:       g.nextPrice(),
+	}
+	return st
+}
+
+func (g *Generator) nextPrice() units.Price {
+	if len(g.cfg.PriceSeries) > 0 {
+		return g.cfg.PriceSeries[(g.slot-1)%len(g.cfg.PriceSeries)]
+	}
+	return g.price.Next()
+}
+
+func (g *Generator) fronthaul() []units.SpectralEfficiency {
+	out := make([]units.SpectralEfficiency, len(g.net.BaseStations))
+	for k := range out {
+		se := g.net.BaseStations[k].FronthaulSE
+		if g.cfg.FronthaulJitterSigma > 0 {
+			se = units.SpectralEfficiency(float64(se) * g.fhSrc.LogNormal(0, g.cfg.FronthaulJitterSigma))
+		}
+		out[k] = se
+	}
+	return out
+}
+
+// Replay is a Source that replays a recorded sequence of states, cycling
+// when exhausted. It supports deterministic experiment replays and tests.
+type Replay struct {
+	states []*State
+	period int
+	idx    int
+}
+
+var _ Source = (*Replay)(nil)
+
+// NewReplay builds a replaying source. period is the nominal trend period
+// to report; states must be non-empty.
+func NewReplay(states []*State, period int) (*Replay, error) {
+	if len(states) == 0 {
+		return nil, fmt.Errorf("trace: replay needs at least one state")
+	}
+	if period <= 0 {
+		period = 1
+	}
+	return &Replay{states: states, period: period}, nil
+}
+
+// Next implements Source.
+func (r *Replay) Next() *State {
+	s := r.states[r.idx%len(r.states)]
+	r.idx++
+	return s
+}
+
+// Period implements Source.
+func (r *Replay) Period() int { return r.period }
+
+// Record draws n consecutive states from a source into a slice, for replay
+// or offline analysis.
+func Record(src Source, n int) []*State {
+	out := make([]*State, n)
+	for i := range out {
+		out[i] = src.Next()
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+// Package trace generates the time-varying system states β_t = (f_t, d_t,
+// h_t, p_t) of the paper's Section III: task sizes, input data lengths,
+// channel conditions, and electricity prices.
+//
+// Following the paper's modeling of real-world data (Figure 2), every
+// scalar state decomposes as a deterministic periodic trend with period D
+// plus iid noise: f_t = f̄_t + e^f_t, d_t = d̄_t + e^d_t, p_t = p̄_t + e^p_t.
+// The paper's traces come from NYISO real-time prices and an hourly video
+// viewership series; neither dataset ships with this repository, so the
+// processes here are synthetic equivalents calibrated to the same scale
+// and diurnal shape (see DESIGN.md §2 for the substitution rationale).
+//
+// Channel conditions h_{i,k,t} are driven by a random-waypoint mobility
+// model: each device walks the deployment area, and the spectral
+// efficiency toward a covering base station mean-reverts around a
+// distance-dependent level inside the paper's 15–50 bps/Hz range. A zero
+// efficiency marks an out-of-coverage pair.
+package trace
+
+import (
+	"math"
+
+	"eotora/internal/rng"
+	"eotora/internal/units"
+)
+
+// State is the full system state β_t observed at the start of a slot.
+type State struct {
+	// Slot is the 1-based slot index t.
+	Slot int
+
+	// TaskSizes holds f_{i,t} for every device.
+	TaskSizes []units.Cycles
+
+	// DataLengths holds d_{i,t} for every device.
+	DataLengths []units.DataSize
+
+	// Channels holds h_{i,k,t}: Channels[i][k] is the access-link spectral
+	// efficiency between device i and station k, and zero when the device
+	// is outside the station's coverage.
+	Channels [][]units.SpectralEfficiency
+
+	// FronthaulSE holds h_k^F per station. The paper treats fronthaul
+	// efficiency as time-invariant; the generator can optionally vary it
+	// (the extension claimed in Section III-A).
+	FronthaulSE []units.SpectralEfficiency
+
+	// Price is the electricity price p_t.
+	Price units.Price
+}
+
+// Covered reports whether device i can currently use station k.
+func (s *State) Covered(i, k int) bool {
+	return s.Channels[i][k] > 0
+}
+
+// Source produces consecutive system states. Implementations are
+// deterministic given their seed.
+type Source interface {
+	// Next returns the state of the next slot, advancing the source.
+	Next() *State
+	// Period returns the trend period D in slots (1 for iid sources).
+	Period() int
+}
+
+// diurnal is a smooth 24-hour load shape in [0, 1] with a morning shoulder
+// and an evening peak, the qualitative shape of both the NYISO price curve
+// and the video-viewership curve in the paper's Figure 2.
+func diurnal(hour float64) float64 {
+	// Two raised cosines centered at 9h and 20h.
+	morning := 0.6 * bump(hour, 9, 4.5)
+	evening := 1.0 * bump(hour, 20, 3.5)
+	base := 0.12
+	v := base + morning + evening
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// bump is a raised-cosine pulse of the given half-width centered at c,
+// wrapped on a 24-hour circle.
+func bump(hour, c, halfWidth float64) float64 {
+	d := math.Mod(math.Abs(hour-c), 24)
+	if d > 12 {
+		d = 24 - d
+	}
+	if d >= halfWidth {
+		return 0
+	}
+	return 0.5 * (1 + math.Cos(math.Pi*d/halfWidth))
+}
+
+// PriceConfig parameterizes the synthetic NYISO-like price process.
+type PriceConfig struct {
+	// Base is the off-peak price level in $/MWh.
+	Base units.Price
+	// Amplitude is the additional diurnal swing in $/MWh.
+	Amplitude units.Price
+	// NoiseSigma is the lognormal sigma of the multiplicative iid noise.
+	NoiseSigma float64
+	// SpikeProb is the per-slot probability of a scarcity spike.
+	SpikeProb float64
+	// SpikeScale multiplies the price during a spike.
+	SpikeScale float64
+	// Period is the trend period D in slots (24 for hourly slots).
+	Period int
+	// WeekendDiscount in [0, 1) lowers the trend on the last two days of
+	// each 7-period week (demand-driven prices fall on weekends). Zero
+	// disables the weekly pattern; when enabled the effective trend
+	// period is 7·Period.
+	WeekendDiscount float64
+}
+
+// DefaultPriceConfig returns a configuration calibrated to NYISO real-time
+// prices: ~$25/MWh off-peak, ~$70/MWh evening peak, occasional spikes.
+func DefaultPriceConfig() PriceConfig {
+	return PriceConfig{
+		Base:       25,
+		Amplitude:  45,
+		NoiseSigma: 0.12,
+		SpikeProb:  0.01,
+		SpikeScale: 2.5,
+		Period:     24,
+	}
+}
+
+// PriceProcess generates p_t = p̄_t + e_t^p.
+type PriceProcess struct {
+	cfg PriceConfig
+	src *rng.Source
+	t   int
+}
+
+// NewPriceProcess returns a price process drawing noise from src.
+func NewPriceProcess(cfg PriceConfig, src *rng.Source) *PriceProcess {
+	if cfg.Period <= 0 {
+		cfg.Period = 1
+	}
+	return &PriceProcess{cfg: cfg, src: src}
+}
+
+// Trend returns the deterministic periodic component p̄_t.
+func (p *PriceProcess) Trend(slot int) units.Price {
+	hour := float64(slot % p.cfg.Period)
+	frac := diurnal(hour * 24 / float64(p.cfg.Period))
+	trend := p.cfg.Base + units.Price(frac*float64(p.cfg.Amplitude))
+	if p.cfg.WeekendDiscount > 0 && isWeekend(slot, p.cfg.Period) {
+		trend *= units.Price(1 - p.cfg.WeekendDiscount)
+	}
+	return trend
+}
+
+// isWeekend reports whether the slot falls on day 6 or 7 of its
+// 7-period week.
+func isWeekend(slot, period int) bool {
+	return (slot/period)%7 >= 5
+}
+
+// Next returns the next price.
+func (p *PriceProcess) Next() units.Price {
+	trend := p.Trend(p.t)
+	p.t++
+	noise := p.src.LogNormal(0, p.cfg.NoiseSigma)
+	price := units.Price(float64(trend) * noise)
+	if p.cfg.SpikeProb > 0 && p.src.Bernoulli(p.cfg.SpikeProb) {
+		price *= units.Price(p.cfg.SpikeScale)
+	}
+	if price < 1 {
+		price = 1 // floor: markets clear above zero for the horizons we model
+	}
+	return price
+}
+
+// DemandConfig parameterizes task sizes f_{i,t} and data lengths d_{i,t}.
+type DemandConfig struct {
+	// TaskMin/TaskMax bound f_{i,t} (paper: 50–200 mega cycles).
+	TaskMin, TaskMax units.Cycles
+	// DataMin/DataMax bound d_{i,t} (paper: 3–10 megabits).
+	DataMin, DataMax units.DataSize
+	// TrendWeight ∈ [0, 1] is the share of the range driven by the diurnal
+	// trend; the rest is iid noise. Zero yields fully iid states (the
+	// ablation baseline of the related-work comparison).
+	TrendWeight float64
+	// Period is the trend period D in slots.
+	Period int
+	// Levels, when non-empty, replaces the built-in diurnal trend with a
+	// cyclic replay of the given per-slot demand levels in [0, 1] — e.g.
+	// a normalized real viewership trace (see NormalizeLevels). Device
+	// phase offsets do not apply to replayed levels.
+	Levels []float64
+	// WeekendDiscount in [0, 1) lowers the diurnal trend on the last two
+	// days of each 7-period week. Zero disables it; it does not apply to
+	// replayed Levels.
+	WeekendDiscount float64
+}
+
+// DefaultDemandConfig returns the paper's Section VI-A demand ranges with
+// a diurnal trend.
+func DefaultDemandConfig() DemandConfig {
+	return DemandConfig{
+		TaskMin:     50 * units.MegaCycles,
+		TaskMax:     200 * units.MegaCycles,
+		DataMin:     3 * units.Megabit,
+		DataMax:     10 * units.Megabit,
+		TrendWeight: 0.6,
+		Period:      24,
+	}
+}
+
+// DemandProcess generates per-device task sizes and data lengths with a
+// shared diurnal trend and per-device iid noise. Each device gets a small
+// random phase offset so loads do not move in lockstep.
+type DemandProcess struct {
+	cfg    DemandConfig
+	src    *rng.Source
+	phases []float64 // per-device trend phase offsets in hours
+	t      int
+}
+
+// NewDemandProcess returns a demand process for the given device count.
+func NewDemandProcess(cfg DemandConfig, devices int, src *rng.Source) *DemandProcess {
+	if cfg.Period <= 0 {
+		cfg.Period = 1
+	}
+	phases := make([]float64, devices)
+	for i := range phases {
+		phases[i] = src.Uniform(-1.5, 1.5)
+	}
+	return &DemandProcess{cfg: cfg, src: src, phases: phases}
+}
+
+// TrendFraction returns the deterministic trend level in [0, 1] for device
+// i at the given slot.
+func (d *DemandProcess) TrendFraction(i, slot int) float64 {
+	if len(d.cfg.Levels) > 0 {
+		return rng.Clamp(d.cfg.Levels[slot%len(d.cfg.Levels)], 0, 1)
+	}
+	hour := math.Mod(float64(slot%d.cfg.Period)*24/float64(d.cfg.Period)+d.phases[i]+24, 24)
+	level := diurnal(hour)
+	if d.cfg.WeekendDiscount > 0 && isWeekend(slot, d.cfg.Period) {
+		level *= 1 - d.cfg.WeekendDiscount
+	}
+	return level
+}
+
+// Next returns the next slot's task sizes and data lengths.
+func (d *DemandProcess) Next() (tasks []units.Cycles, data []units.DataSize) {
+	tasks = make([]units.Cycles, len(d.phases))
+	data = make([]units.DataSize, len(d.phases))
+	for i := range d.phases {
+		frac := d.cfg.TrendWeight*d.TrendFraction(i, d.t) + (1-d.cfg.TrendWeight)*d.src.Float64()
+		tasks[i] = d.cfg.TaskMin + units.Cycles(frac*float64(d.cfg.TaskMax-d.cfg.TaskMin))
+		// Data length follows the same congestion level with its own noise:
+		// d and f are correlated but not proportional (the paper presumes
+		// no specific relation).
+		fracD := d.cfg.TrendWeight*d.TrendFraction(i, d.t) + (1-d.cfg.TrendWeight)*d.src.Float64()
+		data[i] = d.cfg.DataMin + units.DataSize(fracD*float64(d.cfg.DataMax-d.cfg.DataMin))
+	}
+	d.t++
+	return tasks, data
+}
+
+// FlashCrowdConfig adds a two-state Markov regime to the demand process:
+// in the "flash" regime every device's demand is scaled up, modeling the
+// sudden crowds (stadium events, viral content) that fall outside the
+// paper's periodic-plus-iid state class. The DPP controller makes no
+// distributional assumption about β_t at decision time, so this is a
+// robustness extension, not a change to the algorithm.
+type FlashCrowdConfig struct {
+	// Enabled turns the regime process on.
+	Enabled bool
+	// OnProb is the per-slot probability of entering the flash regime
+	// from normal; OffProb of leaving it.
+	OnProb, OffProb float64
+	// Scale multiplies task sizes and data lengths during a flash,
+	// clamped to the configured demand ranges.
+	Scale float64
+}
+
+// DefaultFlashCrowdConfig returns rare, short, intense crowds: ~2% entry
+// per slot, mean duration ~4 slots, 3× demand.
+func DefaultFlashCrowdConfig() FlashCrowdConfig {
+	return FlashCrowdConfig{Enabled: true, OnProb: 0.02, OffProb: 0.25, Scale: 3}
+}
+
+// regime tracks the Markov state across slots.
+type regime struct {
+	cfg   FlashCrowdConfig
+	src   *rng.Source
+	flash bool
+}
+
+func newRegime(cfg FlashCrowdConfig, src *rng.Source) *regime {
+	return &regime{cfg: cfg, src: src}
+}
+
+// step advances one slot and reports whether the flash regime is active.
+func (r *regime) step() bool {
+	if !r.cfg.Enabled {
+		return false
+	}
+	if r.flash {
+		if r.src.Bernoulli(r.cfg.OffProb) {
+			r.flash = false
+		}
+	} else if r.src.Bernoulli(r.cfg.OnProb) {
+		r.flash = true
+	}
+	return r.flash
+}
