@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover fuzz bench bench-quick examples paper clean
+.PHONY: all verify build vet test race cover fuzz bench bench-quick examples paper clean
 
 all: build vet test
+
+# verify is the pre-merge flow: correctness, the race detector over the
+# mutable Engine/P2A reuse paths, and a compile-and-run pass over every
+# benchmark.
+verify: build vet test race bench-quick
 
 build:
 	$(GO) build ./...
@@ -16,7 +21,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/ ./internal/game/
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./internal/...
@@ -27,13 +32,16 @@ fuzz:
 	$(GO) test -fuzz=FuzzLoadPriceCSV -fuzztime=15s ./internal/trace/
 	$(GO) test -fuzz=FuzzReadJSON -fuzztime=15s ./internal/topology/
 	$(GO) test -fuzz=FuzzReadCheckpoint -fuzztime=15s ./internal/core/
+	$(GO) test -fuzz=FuzzEngineEquivalence -fuzztime=15s ./internal/game/
 
-# Reduced-scale benches for every paper figure + ablations (minutes).
+# Full benchmark sweep with allocation stats (minutes).
 bench:
-	$(GO) test -bench=. -benchmem -run=NONE ./...
+	$(GO) test -run=^$$ -bench=. -benchmem ./internal/...
 
+# One-iteration pass over the benchmarks: compiles and exercises every
+# benchmark body without timing them (part of verify).
 bench-quick:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE .
+	$(GO) test -run=^$$ -bench=. -benchmem -benchtime=1x ./internal/...
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -48,6 +48,13 @@ type BDMAResult struct {
 // V·T(ᾱ) + Q·Θ(Ω̄) ≤ R·V·T(α) + Q·Θ(Ω) for any feasible α, with
 // R = 2.62·R_F/(1−8λ) and R_F = max_n F_n^U/F_n^L.
 func (s *System) BDMA(st *trace.State, v, q float64, cfg BDMAConfig, src *rng.Source) (BDMAResult, error) {
+	return s.bdmaScratch(st, v, q, cfg, src, nil)
+}
+
+// bdmaScratch is BDMA with an optional reusable P2A; the controller passes
+// its per-instance scratch so steady-state slots rebuild the game arena in
+// place instead of reallocating it.
+func (s *System) bdmaScratch(st *trace.State, v, q float64, cfg BDMAConfig, src *rng.Source, scratch *P2A) (BDMAResult, error) {
 	if q < 0 || math.IsNaN(q) {
 		return BDMAResult{}, fmt.Errorf("core: BDMA needs Q ≥ 0, got %v", q)
 	}
@@ -57,7 +64,7 @@ func (s *System) BDMA(st *trace.State, v, q float64, cfg BDMAConfig, src *rng.So
 	objective := func(sel Selection, freq Frequencies) float64 {
 		return s.P2Objective(sel, freq, st, v, q)
 	}
-	best, err := s.bdmaLoop(st, cfg, src, solve, objective)
+	best, err := s.bdmaLoop(st, cfg, src, solve, objective, scratch)
 	if err != nil {
 		return BDMAResult{}, err
 	}
@@ -67,13 +74,17 @@ func (s *System) BDMA(st *trace.State, v, q float64, cfg BDMAConfig, src *rng.So
 
 // bdmaLoop is the shared alternation body of Algorithm 2, parameterized by
 // the P2-B solver and the P2 objective so the global-budget and per-room
-// variants share one implementation.
+// variants share one implementation. scratch, when non-nil, supplies a
+// reusable P2A; round 0 rebuilds it for the slot state and later rounds
+// only reweight the N compute resources (the sole Ω-dependent part of the
+// game), skipping the structural rebuild entirely.
 func (s *System) bdmaLoop(
 	st *trace.State,
 	cfg BDMAConfig,
 	src *rng.Source,
 	solveP2B func(Selection) (Frequencies, error),
 	objective func(Selection, Frequencies) float64,
+	scratch *P2A,
 ) (BDMAResult, error) {
 	if err := s.CheckState(st); err != nil {
 		return BDMAResult{}, err
@@ -86,20 +97,28 @@ func (s *System) bdmaLoop(
 	if p2aSolver == nil {
 		p2aSolver = CGBASolver{}
 	}
+	if scratch == nil {
+		scratch = new(P2A)
+	}
 
 	freq := s.LowestFrequencies()
 	best := BDMAResult{Objective: math.Inf(1)}
 	for iter := 0; iter < iters; iter++ {
-		p2a, err := s.NewP2A(st, freq)
+		var err error
+		if iter == 0 {
+			err = s.BuildP2A(scratch, st, freq)
+		} else {
+			err = scratch.Reweight(freq)
+		}
 		if err != nil {
 			return BDMAResult{}, fmt.Errorf("core: BDMA round %d: %w", iter, err)
 		}
-		res, err := p2aSolver.Solve(p2a, src)
+		res, err := p2aSolver.Solve(scratch, src)
 		if err != nil {
 			return BDMAResult{}, fmt.Errorf("core: BDMA round %d (%s): %w", iter, p2aSolver.Name(), err)
 		}
 		best.SolverIterations += res.Iterations
-		sel := p2a.Selection(res.Profile)
+		sel := scratch.Selection(res.Profile)
 
 		freq, err = solveP2B(sel)
 		if err != nil {

@@ -67,6 +67,7 @@ type Controller struct {
 	rooms *lyapunov.QueueSet // per-room queues; nil in global-budget mode
 	cfg   ControllerConfig
 	slot  int
+	p2a   P2A // reusable P2-A instance; BDMA rebuilds it in place each slot
 }
 
 // NewController builds a controller over a system. Systems with
@@ -156,9 +157,9 @@ func (c *Controller) StepWithObservation(observed, realized *trace.State) (*Slot
 		err error
 	)
 	if c.rooms != nil {
-		res, err = c.sys.BDMARooms(observed, c.dpp.V, c.rooms.Backlogs(), c.cfg.BDMA, src)
+		res, err = c.sys.bdmaRoomsScratch(observed, c.dpp.V, c.rooms.Backlogs(), c.cfg.BDMA, src, &c.p2a)
 	} else {
-		res, err = c.sys.BDMA(observed, c.dpp.V, c.dpp.Queue.Backlog(), c.cfg.BDMA, src)
+		res, err = c.sys.bdmaScratch(observed, c.dpp.V, c.dpp.Queue.Backlog(), c.cfg.BDMA, src, &c.p2a)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: slot %d: %w", c.slot, err)

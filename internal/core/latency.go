@@ -24,9 +24,9 @@ func (s *System) OptimalAllocation(sel Selection, st *trace.State) Allocation {
 	}
 
 	// Per-station and per-server denominators: Σ_j √(d_j/h_j), Σ_j √(f_j/σ_j).
-	accessDen := make([]float64, len(s.Net.BaseStations))
-	fronthaulDen := make([]float64, len(s.Net.BaseStations))
-	computeDen := make([]float64, len(s.Net.Servers))
+	sums := borrowSums(len(s.Net.BaseStations), len(s.Net.Servers))
+	defer sums.release()
+	accessDen, fronthaulDen, computeDen := sums.access, sums.fronthaul, sums.compute
 	for i := 0; i < devices; i++ {
 		k, n := sel.Station[i], sel.Server[i]
 		accessDen[k] += math.Sqrt(st.DataLengths[i].Bits() / st.Channels[i][k].BpsPerHz())
@@ -100,9 +100,9 @@ func (s *System) LatencyOf(d Decision, st *trace.State) (total units.Seconds, pe
 //
 // where ω_n is the server's aggregate capacity at its per-core frequency.
 func (s *System) ReducedLatency(sel Selection, freq Frequencies, st *trace.State) units.Seconds {
-	accessSum := make([]float64, len(s.Net.BaseStations))
-	fronthaulSum := make([]float64, len(s.Net.BaseStations))
-	computeSum := make([]float64, len(s.Net.Servers))
+	sums := borrowSums(len(s.Net.BaseStations), len(s.Net.Servers))
+	defer sums.release()
+	accessSum, fronthaulSum, computeSum := sums.access, sums.fronthaul, sums.compute
 	for i := range sel.Station {
 		k, n := sel.Station[i], sel.Server[i]
 		accessSum[k] += math.Sqrt(st.DataLengths[i].Bits() / st.Channels[i][k].BpsPerHz())

@@ -87,6 +87,12 @@ func (s *System) P2ObjectiveRooms(sel Selection, freq Frequencies, st *trace.Sta
 // identical, but P2-B weighs each server's energy by its room's queue and
 // the objective sums the per-room drift terms.
 func (s *System) BDMARooms(st *trace.State, v float64, qByRoom map[int]float64, cfg BDMAConfig, src *rng.Source) (BDMAResult, error) {
+	return s.bdmaRoomsScratch(st, v, qByRoom, cfg, src, nil)
+}
+
+// bdmaRoomsScratch is BDMARooms with an optional reusable P2A (see
+// bdmaScratch).
+func (s *System) bdmaRoomsScratch(st *trace.State, v float64, qByRoom map[int]float64, cfg BDMAConfig, src *rng.Source, scratch *P2A) (BDMAResult, error) {
 	if err := s.ValidateRoomBudgets(); err != nil {
 		return BDMAResult{}, err
 	}
@@ -104,7 +110,7 @@ func (s *System) BDMARooms(st *trace.State, v float64, qByRoom map[int]float64, 
 	objective := func(sel Selection, freq Frequencies) float64 {
 		return s.P2ObjectiveRooms(sel, freq, st, v, qByRoom)
 	}
-	res, err := s.bdmaLoop(st, cfg, src, solve, objective)
+	res, err := s.bdmaLoop(st, cfg, src, solve, objective, scratch)
 	if err != nil {
 		return BDMAResult{}, err
 	}

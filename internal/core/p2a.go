@@ -15,9 +15,30 @@ import (
 // congestion game: minimize T_t(x, y, Ω, β) over the (station, server)
 // choices for fixed frequencies Ω. It owns the mapping between game
 // strategies and (station, server) pairs.
+//
+// A P2A is reusable: BuildP2A refills it for a new slot without
+// reallocating (the game arena, pair table, and strategy lookup are
+// rebuilt in place), and Reweight swaps only the N compute-resource
+// weights when the frequencies change between BDMA rounds but the slot
+// state — and therefore the game structure — does not. Engine returns a
+// lazily created solve engine bound to the game; CGBA/MCBA solvers run on
+// it so their scratch buffers persist across rounds and slots.
 type P2A struct {
+	sys   *System
 	game  *game.Game
 	pairs [][]topology.Pair // [device][strategy] → (station, server)
+
+	// Reuse machinery. builder owns the game arena (Build returns a
+	// stable pointer into it); pairArena backs the pairs rows; lookup maps
+	// (device, station, server) → strategy index (−1 = infeasible), the
+	// constant-time inverse Profile uses instead of scanning pairs.
+	builder   *game.Builder
+	engine    *game.Engine
+	pairArena []topology.Pair
+	pairOff   []int32
+	lookup    []int32
+	stations  int
+	servers   int
 }
 
 // resource indexing inside the game:
@@ -25,10 +46,9 @@ type P2A struct {
 //	[0, N)            compute resources C_n with weight 1/ω_n (capacity),
 //	[N, N+K)          access links B_k^A with weight 1/W_k^A,
 //	[N+K, N+2K)       fronthaul links B_k^F with weight 1/W_k^F.
-func (s *System) resourceWeights(freq Frequencies) []float64 {
+func (s *System) fillResourceWeights(weights []float64, freq Frequencies) {
 	servers := len(s.Net.Servers)
 	stations := len(s.Net.BaseStations)
-	weights := make([]float64, servers+2*stations)
 	for n := 0; n < servers; n++ {
 		weights[n] = 1 / s.Net.Servers[n].Capacity(freq[n]).Hertz()
 	}
@@ -36,7 +56,6 @@ func (s *System) resourceWeights(freq Frequencies) []float64 {
 		weights[servers+k] = 1 / s.Net.BaseStations[k].AccessBandwidth.Hertz()
 		weights[servers+stations+k] = 1 / s.Net.BaseStations[k].FronthaulBandwidth.Hertz()
 	}
-	return weights
 }
 
 // NewP2A builds the congestion game for a slot: player i's strategies are
@@ -47,20 +66,48 @@ func (s *System) resourceWeights(freq Frequencies) []float64 {
 //	                                 consistent with equation (18)),
 //	p_{i,B_k^A} = √(d_i/h_{i,k}),
 //	p_{i,B_k^F} = √(d_i/h_k^F).
+//
+// Hot callers (BDMA rounds, simulation slots) should hold a P2A and call
+// BuildP2A/Reweight instead, which reuse its memory.
 func (s *System) NewP2A(st *trace.State, freq Frequencies) (*P2A, error) {
-	if err := s.CheckState(st); err != nil {
+	p := new(P2A)
+	if err := s.BuildP2A(p, st, freq); err != nil {
 		return nil, err
 	}
+	return p, nil
+}
+
+// BuildP2A (re)fills p with the slot's game, reusing p's arenas and any
+// engine already bound. The game, pair rows, and profile lookup previously
+// exposed by p are invalidated. Validation and results are identical to
+// NewP2A.
+func (s *System) BuildP2A(p *P2A, st *trace.State, freq Frequencies) error {
+	if err := s.CheckState(st); err != nil {
+		return err
+	}
 	if err := s.ValidateFrequencies(freq); err != nil {
-		return nil, err
+		return err
 	}
 	servers := len(s.Net.Servers)
 	stations := len(s.Net.BaseStations)
 	_, _, _, devices := s.Net.Counts()
 
-	strategies := make([][][]game.Use, devices)
-	pairs := make([][]topology.Pair, devices)
+	if p.builder == nil {
+		p.builder = game.NewBuilder()
+	}
+	b := p.builder
+	b.Reset(servers + 2*stations)
+	s.fillResourceWeights(b.Weights(), freq)
+
+	p.sys = s
+	p.stations, p.servers = stations, servers
+	p.pairArena = p.pairArena[:0]
+	p.pairOff = append(p.pairOff[:0], 0)
+	p.lookup = resizeNegInt32(p.lookup, devices*stations*servers)
+
 	for i := 0; i < devices; i++ {
+		b.NextPlayer()
+		count := 0
 		for k := 0; k < stations; k++ {
 			if !st.Covered(i, k) {
 				continue
@@ -69,43 +116,89 @@ func (s *System) NewP2A(st *trace.State, freq Frequencies) (*P2A, error) {
 			fronthaulW := math.Sqrt(st.DataLengths[i].Bits() / st.FronthaulSE[k].BpsPerHz())
 			for _, n := range s.Net.ReachableServers(k) {
 				computeW := math.Sqrt(st.TaskSizes[i].Count() / s.Net.Suitability[i][n])
+				b.NextStrategy()
 				// A zero weight means the device exerts no load on that
 				// resource (f = 0 reduces EOTO to the pure-communication
 				// P1 problem); omit the use rather than inject a zero the
 				// game model rejects.
-				uses := make([]game.Use, 0, 3)
+				used := false
 				if computeW > 0 {
-					uses = append(uses, game.Use{Resource: n, Weight: computeW})
+					b.AddUse(n, computeW)
+					used = true
 				}
 				if accessW > 0 {
-					uses = append(uses, game.Use{Resource: servers + k, Weight: accessW})
+					b.AddUse(servers+k, accessW)
+					used = true
 				}
 				if fronthaulW > 0 {
-					uses = append(uses, game.Use{Resource: servers + stations + k, Weight: fronthaulW})
+					b.AddUse(servers+stations+k, fronthaulW)
+					used = true
 				}
-				if len(uses) == 0 {
+				if !used {
 					// f = d = 0: the device is a no-op this slot and is
 					// indifferent between pairs; pin a negligible access
 					// load to keep the strategy well-formed.
-					uses = append(uses, game.Use{Resource: servers + k, Weight: math.SmallestNonzeroFloat64})
+					b.AddUse(servers+k, math.SmallestNonzeroFloat64)
 				}
-				strategies[i] = append(strategies[i], uses)
-				pairs[i] = append(pairs[i], topology.Pair{Station: k, Server: n})
+				p.lookup[(i*stations+k)*servers+n] = int32(count)
+				p.pairArena = append(p.pairArena, topology.Pair{Station: k, Server: n})
+				count++
 			}
 		}
-		if len(strategies[i]) == 0 {
-			return nil, fmt.Errorf("core: device %d has no feasible (station, server) pair this slot", i)
+		if count == 0 {
+			return fmt.Errorf("core: device %d has no feasible (station, server) pair this slot", i)
+		}
+		p.pairOff = append(p.pairOff, int32(len(p.pairArena)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		return fmt.Errorf("core: building P2-A game: %w", err)
+	}
+	p.game = g
+	if cap(p.pairs) < devices {
+		p.pairs = make([][]topology.Pair, devices)
+	} else {
+		p.pairs = p.pairs[:devices]
+	}
+	for i := 0; i < devices; i++ {
+		p.pairs[i] = p.pairArena[p.pairOff[i]:p.pairOff[i+1]]
+	}
+	if p.engine != nil {
+		p.engine.Bind(g)
+	}
+	return nil
+}
+
+// Reweight updates the game in place for new frequencies: only the N
+// compute-resource weights 1/ω_n depend on Ω, so the strategy structure,
+// pair table, and link weights built for the slot state are untouched.
+// The resulting weights are bit-identical to a fresh BuildP2A with the
+// same state and frequencies. The bound engine's caches become stale;
+// Engine.CGBA and Engine.MCBA reset on entry, so solver calls are safe.
+func (p *P2A) Reweight(freq Frequencies) error {
+	if err := p.sys.ValidateFrequencies(freq); err != nil {
+		return err
+	}
+	for n := 0; n < p.servers; n++ {
+		m := 1 / p.sys.Net.Servers[n].Capacity(freq[n]).Hertz()
+		if err := p.game.SetResourceWeight(n, m); err != nil {
+			return fmt.Errorf("core: reweighting P2-A game: %w", err)
 		}
 	}
-	g, err := game.New(s.resourceWeights(freq), strategies)
-	if err != nil {
-		return nil, fmt.Errorf("core: building P2-A game: %w", err)
-	}
-	return &P2A{game: g, pairs: pairs}, nil
+	return nil
 }
 
 // Game exposes the underlying congestion game.
 func (p *P2A) Game() *game.Game { return p.game }
+
+// Engine returns a solve engine bound to the game, created on first use
+// and rebound automatically on BuildP2A. Not safe for concurrent use.
+func (p *P2A) Engine() *game.Engine {
+	if p.engine == nil {
+		p.engine = game.NewEngine(p.game)
+	}
+	return p.engine
+}
 
 // Selection converts a game profile into per-device (station, server)
 // choices.
@@ -124,23 +217,36 @@ func (p *P2A) Selection(profile game.Profile) Selection {
 
 // Profile converts a selection back into a game profile; it returns an
 // error when a device's (station, server) pair is not among its feasible
-// strategies.
+// strategies. The inverse map is a precomputed (station, server) →
+// strategy table, so the conversion is O(devices) rather than a linear
+// scan of every device's strategy list.
 func (p *P2A) Profile(sel Selection) (game.Profile, error) {
 	profile := make(game.Profile, len(p.pairs))
 	for i := range p.pairs {
-		found := -1
-		for sIdx, pair := range p.pairs[i] {
-			if pair.Station == sel.Station[i] && pair.Server == sel.Server[i] {
-				found = sIdx
-				break
-			}
+		k, n := sel.Station[i], sel.Server[i]
+		found := int32(-1)
+		if k >= 0 && k < p.stations && n >= 0 && n < p.servers {
+			found = p.lookup[(i*p.stations+k)*p.servers+n]
 		}
 		if found < 0 {
-			return nil, fmt.Errorf("core: device %d pair (%d, %d) infeasible", i, sel.Station[i], sel.Server[i])
+			return nil, fmt.Errorf("core: device %d pair (%d, %d) infeasible", i, k, n)
 		}
-		profile[i] = found
+		profile[i] = int(found)
 	}
 	return profile, nil
+}
+
+// resizeNegInt32 returns s with length n and every entry −1.
+func resizeNegInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		s = make([]int32, n)
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		s[i] = -1
+	}
+	return s
 }
 
 // P2ASolver produces a selection for a P2-A instance. Implementations are
@@ -168,9 +274,10 @@ var _ P2ASolver = CGBASolver{}
 // Name implements P2ASolver.
 func (c CGBASolver) Name() string { return "CGBA" }
 
-// Solve implements P2ASolver.
+// Solve implements P2ASolver. It runs on the instance's persistent
+// engine, so repeated solves of the same P2A reuse caches and scratch.
 func (c CGBASolver) Solve(p *P2A, src *rng.Source) (game.Result, error) {
-	return game.CGBA(p.game, game.CGBAConfig{
+	return p.Engine().CGBA(game.CGBAConfig{
 		Lambda:        c.Lambda,
 		MaxIterations: c.MaxIterations,
 		Pivot:         c.Pivot,
@@ -189,7 +296,7 @@ func (m MCBASolver) Name() string { return "MCBA" }
 
 // Solve implements P2ASolver.
 func (m MCBASolver) Solve(p *P2A, src *rng.Source) (game.Result, error) {
-	return game.MCBA(p.game, m.Config, src)
+	return p.Engine().MCBA(m.Config, src)
 }
 
 // RandomSolver is the selection step of the ROPT baseline: uniformly

@@ -40,7 +40,9 @@ func (s *System) solveP2B(sel Selection, st *trace.State, v float64, qOf func(se
 	servers := len(s.Net.Servers)
 
 	// A_n = (Σ_{i→n} √(f_i/σ_{i,n}))².
-	computeSum := make([]float64, servers)
+	sums := borrowSums(0, servers)
+	defer sums.release()
+	computeSum := sums.compute
 	for i := range sel.Server {
 		n := sel.Server[i]
 		computeSum[n] += math.Sqrt(st.TaskSizes[i].Count() / s.Net.Suitability[i][n])

@@ -1,0 +1,42 @@
+package core
+
+import "sync"
+
+// slotSums is pooled accumulator scratch for the per-station and
+// per-server sums that ReducedLatency, OptimalAllocation, and solveP2B
+// rebuild every call — the Σ √(d/h) and Σ √(f/σ) denominators of
+// Lemma 1. Pooling them takes the controller's steady-state slot from
+// O(rounds·resources) transient slices down to near-zero heap traffic;
+// the values are zeroed on borrow and accumulated in the same order as
+// before, so every result is bit-identical to the allocating path.
+type slotSums struct {
+	access    []float64
+	fronthaul []float64
+	compute   []float64
+}
+
+var sumsPool = sync.Pool{New: func() any { return new(slotSums) }}
+
+// borrowSums returns zeroed scratch sized for the system's stations and
+// servers. Callers must release it when done and must not retain the
+// slices afterwards.
+func borrowSums(stations, servers int) *slotSums {
+	sc := sumsPool.Get().(*slotSums)
+	sc.access = resizeZeroFloat(sc.access, stations)
+	sc.fronthaul = resizeZeroFloat(sc.fronthaul, stations)
+	sc.compute = resizeZeroFloat(sc.compute, servers)
+	return sc
+}
+
+func (sc *slotSums) release() { sumsPool.Put(sc) }
+
+func resizeZeroFloat(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}

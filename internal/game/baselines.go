@@ -30,71 +30,7 @@ type MCBAConfig struct {
 // Figure 5 observation that MCBA is slower than CGBA yet faster than exact
 // branch-and-bound.
 func MCBA(g *Game, cfg MCBAConfig, src *rng.Source) (Result, error) {
-	n := g.Players()
-	iters := cfg.Iterations
-	if iters <= 0 {
-		iters = 400 * n
-	}
-	cooling := cfg.Cooling
-	if cooling <= 0 || cooling > 1 {
-		cooling = 0.999
-	}
-
-	profile := make(Profile, n)
-	for i := range profile {
-		profile[i] = src.Intn(g.StrategyCount(i))
-	}
-	loads := g.Loads(profile)
-	cur := g.SocialCost(profile)
-
-	temp := cfg.Temperature
-	if temp <= 0 {
-		temp = 0.1
-	}
-	temp *= cur + 1 // scale to the objective
-
-	best := profile.Clone()
-	bestObj := cur
-	for it := 0; it < iters; it++ {
-		i := src.Intn(n)
-		count := g.StrategyCount(i)
-		if count == 1 {
-			continue
-		}
-		s := src.Intn(count)
-		if s == profile[i] {
-			continue
-		}
-		old := profile[i]
-		// Δ objective of the unilateral move: because the social cost is
-		// Σ_r m_r p_r², the delta equals the mover's cost change times 2
-		// minus the self-term corrections; recompute incrementally via
-		// player costs against updated loads.
-		before := g.PlayerCost(profile, loads, i)
-		g.applyMove(profile, loads, i, s)
-		after := g.PlayerCost(profile, loads, i)
-		// ΔΦ = after − before, and ΔSocial = 2·ΔΦ − Δ(self terms) where
-		// the self terms Σ m p² differ between the two strategies.
-		delta := 2 * (after - before)
-		for _, u := range g.strategies[i][s] {
-			delta -= g.weights[u.Resource] * u.Weight * u.Weight
-		}
-		for _, u := range g.strategies[i][old] {
-			delta += g.weights[u.Resource] * u.Weight * u.Weight
-		}
-		accept := delta <= 0 || src.Float64() < math.Exp(-delta/temp)
-		if accept {
-			cur += delta
-			if cur < bestObj {
-				bestObj = cur
-				best = profile.Clone()
-			}
-		} else {
-			g.applyMove(profile, loads, i, old)
-		}
-		temp *= cooling
-	}
-	return Result{Profile: best, Objective: g.SocialCost(best), Iterations: iters}, nil
+	return NewEngine(g).MCBA(cfg, src)
 }
 
 // RandomProfile implements the ROPT baseline's selection step: every
@@ -130,10 +66,11 @@ func newBnBView(g *Game) *bnbView {
 	for i := range order {
 		order[i] = i
 		best := math.Inf(1)
-		for _, uses := range g.strategies[i] {
+		for s := 0; s < g.StrategyCount(i); s++ {
+			uses := g.strategyUses(i, s)
 			m := 0.0
 			for _, u := range uses {
-				m += g.weights[u.Resource] * u.Weight * u.Weight
+				m += u.wm * u.w
 			}
 			if m < best {
 				best = m
@@ -150,18 +87,18 @@ func (v *bnbView) OptionCount(item int) int { return v.g.StrategyCount(v.order[i
 func (v *bnbView) Cost() float64            { return v.cost }
 
 func (v *bnbView) Assign(item, option int) {
-	for _, u := range v.g.strategies[v.order[item]][option] {
-		l := v.loads[u.Resource]
-		v.cost += v.g.weights[u.Resource] * ((l+u.Weight)*(l+u.Weight) - l*l)
-		v.loads[u.Resource] = l + u.Weight
+	for _, u := range v.g.strategyUses(v.order[item], option) {
+		l := v.loads[u.res]
+		v.cost += v.g.weights[u.res] * ((l+u.w)*(l+u.w) - l*l)
+		v.loads[u.res] = l + u.w
 	}
 }
 
 func (v *bnbView) Unassign(item, option int) {
-	for _, u := range v.g.strategies[v.order[item]][option] {
-		l := v.loads[u.Resource]
-		v.cost -= v.g.weights[u.Resource] * (l*l - (l-u.Weight)*(l-u.Weight))
-		v.loads[u.Resource] = l - u.Weight
+	for _, u := range v.g.strategyUses(v.order[item], option) {
+		l := v.loads[u.res]
+		v.cost -= v.g.weights[u.res] * (l*l - (l-u.w)*(l-u.w))
+		v.loads[u.res] = l - u.w
 	}
 }
 
@@ -172,11 +109,12 @@ func (v *bnbView) LowerBound(assigned int) float64 {
 	for item := assigned; item < v.g.Players(); item++ {
 		i := v.order[item]
 		best := math.Inf(1)
-		for _, uses := range v.g.strategies[i] {
+		for s := 0; s < v.g.StrategyCount(i); s++ {
+			uses := v.g.strategyUses(i, s)
 			m := 0.0
 			for _, u := range uses {
-				l := v.loads[u.Resource]
-				m += v.g.weights[u.Resource] * (u.Weight*u.Weight + 2*u.Weight*l)
+				l := v.loads[u.res]
+				m += v.g.weights[u.res] * (u.w*u.w + 2*u.w*l)
 			}
 			if m < best {
 				best = m

@@ -28,6 +28,25 @@ func BenchmarkCGBA(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineCGBA measures the BDMA-round reuse pattern: one Engine
+// solving the same game repeatedly, so per-call allocations amortize to
+// just the Result profile clone.
+func BenchmarkEngineCGBA(b *testing.B) {
+	for _, players := range []int{25, 50, 100} {
+		b.Run(fmt.Sprintf("players=%d", players), func(b *testing.B) {
+			g := benchGame(b, players)
+			e := NewEngine(g)
+			src := rng.New(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.CGBA(CGBAConfig{}, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkCGBAPivotRules(b *testing.B) {
 	g := benchGame(b, 50)
 	for _, pivot := range []PivotRule{PivotMaxImprovement, PivotRoundRobin, PivotRandom} {

@@ -87,100 +87,12 @@ var ErrNoConverge = errors.New("game: CGBA iteration cap reached")
 // a 2.62/(1−8λ)-approximation of the optimal social cost after
 // O((1/λ)·log(Φ₀/Φ_min)) iterations (Theorem 2); λ = 0 yields the plain
 // 2.62 bound.
+//
+// This entry point builds a fresh Engine per call; hot callers that solve
+// the same game repeatedly (BDMA rounds, simulation slots) should hold an
+// Engine and call Engine.CGBA to reuse its caches and scratch buffers.
 func CGBA(g *Game, cfg CGBAConfig, src *rng.Source) (Result, error) {
-	if cfg.Lambda < 0 || cfg.Lambda >= 0.125 {
-		return Result{}, fmt.Errorf("game: λ = %v outside [0, 0.125)", cfg.Lambda)
-	}
-	n := g.Players()
-	maxIter := cfg.MaxIterations
-	if maxIter <= 0 {
-		maxIter = 200*n + 10000
-	}
-
-	profile := make(Profile, n)
-	if cfg.Initial != nil {
-		if !g.Valid(cfg.Initial) {
-			return Result{}, errors.New("game: invalid initial profile")
-		}
-		copy(profile, cfg.Initial)
-	} else {
-		for i := range profile {
-			profile[i] = src.Intn(g.StrategyCount(i))
-		}
-	}
-	loads := g.Loads(profile)
-
-	// relEps guards against floating-point non-termination at λ = 0: a
-	// move must improve by more than a vanishing relative amount.
-	const relEps = 1e-12
-
-	// dissatisfied reports whether player i can improve beyond the λ
-	// tolerance, returning its best response when so.
-	dissatisfied := func(i int) (strategy int, improve float64, ok bool) {
-		cur := g.PlayerCost(profile, loads, i)
-		s, c := g.bestResponse(profile, loads, i)
-		// Algorithm 3 line 2: (1−λ)·T_i > min T_i.
-		if (1-cfg.Lambda)*cur <= c+relEps*(cur+1) {
-			return 0, 0, false
-		}
-		return s, cur - c, true
-	}
-
-	var objTrace []float64
-	if cfg.TrackObjective {
-		objTrace = append(objTrace, g.SocialCost(profile))
-	}
-
-	iterations := 0
-	rrCursor := 0
-	for ; iterations < maxIter; iterations++ {
-		mover, strategy := -1, -1
-		switch cfg.Pivot {
-		case PivotRoundRobin:
-			for scanned := 0; scanned < n; scanned++ {
-				i := (rrCursor + scanned) % n
-				if s, _, ok := dissatisfied(i); ok {
-					mover, strategy = i, s
-					rrCursor = (i + 1) % n
-					break
-				}
-			}
-		case PivotRandom:
-			var candidates []int
-			strategies := make([]int, 0, n)
-			for i := 0; i < n; i++ {
-				if s, _, ok := dissatisfied(i); ok {
-					candidates = append(candidates, i)
-					strategies = append(strategies, s)
-				}
-			}
-			if len(candidates) > 0 {
-				pick := src.Intn(len(candidates))
-				mover, strategy = candidates[pick], strategies[pick]
-			}
-		default: // PivotMaxImprovement — Algorithm 3 line 3
-			bestImprove := 0.0
-			for i := 0; i < n; i++ {
-				if s, improve, ok := dissatisfied(i); ok && improve > bestImprove {
-					bestImprove = improve
-					mover, strategy = i, s
-				}
-			}
-		}
-		if mover < 0 {
-			return Result{
-				Profile:        profile,
-				Objective:      g.SocialCost(profile),
-				Iterations:     iterations,
-				ObjectiveTrace: objTrace,
-			}, nil
-		}
-		g.applyMove(profile, loads, mover, strategy)
-		if cfg.TrackObjective {
-			objTrace = append(objTrace, g.SocialCost(profile))
-		}
-	}
-	return Result{Profile: profile, Objective: g.SocialCost(profile), Iterations: iterations, ObjectiveTrace: objTrace}, ErrNoConverge
+	return NewEngine(g).CGBA(cfg, src)
 }
 
 // IsEquilibrium reports whether no player can improve its cost by more

@@ -13,6 +13,12 @@
 //
 // and the social objective Σ_i T_i(z) telescopes to Σ_r m_r p_r(z)² —
 // exactly the reduced latency T_t of equations (18)–(19).
+//
+// Internally a Game stores its strategies in a flat CSR-style arena (one
+// backing []Use plus per-player/per-strategy offsets) instead of a
+// [][][]Use pointer forest, and carries a resource→player incidence index.
+// The structure is immutable; mutable solve state (profile, loads, cached
+// best responses) lives in Engine.
 package game
 
 import (
@@ -30,61 +36,314 @@ type Use struct {
 	Weight float64
 }
 
-// Game is an immutable weighted congestion game instance.
-type Game struct {
-	weights    []float64 // m_r
-	strategies [][][]Use // [player][strategy] → resource uses
+// use is the arena element: a Use plus the premultiplied cost factor.
+type use struct {
+	w, wm float64 // p_{i,r} and m_r·p_{i,r}
+	res   int     // resource index
 }
 
-// New validates and builds a game. Every player needs at least one
-// strategy; resource indices must be in range; all weights must be
-// positive and finite.
-func New(resourceWeights []float64, strategies [][][]Use) (*Game, error) {
-	if len(resourceWeights) == 0 {
+// Game is a weighted congestion game instance. Its strategy structure is
+// immutable after construction; resource weights may be swapped through
+// SetResourceWeight (the P2-A Reweight fast path), which invalidates any
+// Engine caches until the next Engine reset.
+type Game struct {
+	weights []float64 // m_r
+
+	// Flat CSR arena: strategy su of player i occupies
+	// uses[useOff[strOff[i]+s] : useOff[strOff[i]+s+1]]. Each use carries
+	// the premultiplied wm = m_r·p_{i,r} factor alongside resource and
+	// weight so the Engine's hot loops stream one array with no extra
+	// lookups. Cost expressions are left-associative (m·w)·x, so using the
+	// premultiplied factor is bit-identical to the naive evaluation;
+	// SetResourceWeight keeps wm in sync via the incidence index.
+	uses   []use
+	useOff []int32 // len = total strategies + 1
+	strOff []int32 // len = players + 1
+
+	// Player incidence: the distinct players with at least one strategy
+	// using resource r are incPlayer[incOff[r]:incOff[r+1]]. Engines walk
+	// it to invalidate exactly the players whose cached best responses a
+	// move could change.
+	incOff    []int32
+	incPlayer []int32
+
+	// Use incidence: the arena positions of the uses of resource r are
+	// useIncPos[useIncOff[r]:useIncOff[r+1]] — the SetResourceWeight fast
+	// path for re-deriving premultiplied factors without an arena sweep.
+	useIncOff []int32
+	useIncPos []int32
+
+	// maxUses is the largest use count of any single strategy (Engine
+	// scratch sizing).
+	maxUses int
+}
+
+// strategyUses returns the uses of player i's strategy s.
+func (g *Game) strategyUses(i, s int) []use {
+	su := g.strOff[i] + int32(s)
+	return g.uses[g.useOff[su]:g.useOff[su+1]]
+}
+
+// totalStrategies returns the number of strategies across all players.
+func (g *Game) totalStrategies() int { return len(g.useOff) - 1 }
+
+// Builder assembles a Game into reusable flat arrays. A zero-allocation
+// rebuild path for hot callers (the per-slot P2-A construction): Reset,
+// fill Weights, stream players/strategies/uses, then Build.
+//
+// Build returns a *Game that aliases the Builder's memory; calling Reset
+// again invalidates every Game previously returned by this Builder. The
+// returned pointer is stable across rebuilds, so long-lived references
+// (e.g. an Engine bound to it) observe the refreshed structure.
+type Builder struct {
+	g Game
+
+	// seenStrategy[r] holds the global strategy serial that last used r,
+	// for duplicate detection without a per-strategy map; seenPlayer[r]
+	// likewise dedups players while building the incidence index.
+	seenStrategy []int32
+	seenPlayer   []int32
+	// incCursor is the fill cursor per resource while building incidence.
+	incCursor []int32
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Reset prepares the builder for a game over the given number of
+// resources, discarding any previously streamed structure. Weights()
+// returns a zeroed slice to be filled before Build.
+func (b *Builder) Reset(resources int) {
+	b.g.weights = resizeFloat(b.g.weights, resources)
+	clearFloats(b.g.weights)
+	b.g.uses = b.g.uses[:0]
+	b.g.useOff = append(b.g.useOff[:0], 0)
+	b.g.strOff = append(b.g.strOff[:0], 0)
+	b.g.maxUses = 0
+	b.seenStrategy = resizeInt32(b.seenStrategy, resources)
+	for r := range b.seenStrategy {
+		b.seenStrategy[r] = -1
+	}
+}
+
+// Weights returns the mutable resource-weight slice (length = resources).
+func (b *Builder) Weights() []float64 { return b.g.weights }
+
+// NextPlayer starts a new player.
+func (b *Builder) NextPlayer() {
+	b.g.strOff = append(b.g.strOff, int32(len(b.g.useOff)-1))
+}
+
+// NextStrategy starts a new strategy for the current player.
+func (b *Builder) NextStrategy() {
+	b.g.useOff = append(b.g.useOff, int32(len(b.g.uses)))
+	b.g.strOff[len(b.g.strOff)-1] = int32(len(b.g.useOff) - 1)
+}
+
+// AddUse appends one resource use to the current strategy. Validation is
+// deferred to Build.
+func (b *Builder) AddUse(resource int, weight float64) {
+	b.g.uses = append(b.g.uses, use{res: resource, w: weight})
+	b.g.useOff[len(b.g.useOff)-1] = int32(len(b.g.uses))
+}
+
+// Build validates the streamed game and returns it. The validation rules
+// and error messages match New exactly.
+func (b *Builder) Build() (*Game, error) {
+	g := &b.g
+	if len(g.weights) == 0 {
 		return nil, errors.New("game: no resources")
 	}
-	for r, m := range resourceWeights {
+	for r, m := range g.weights {
 		if !(m > 0) || math.IsInf(m, 0) {
 			return nil, fmt.Errorf("game: resource %d has invalid weight %v", r, m)
 		}
 	}
-	if len(strategies) == 0 {
+	players := len(g.strOff) - 1
+	if players == 0 {
 		return nil, errors.New("game: no players")
 	}
-	for i, strats := range strategies {
-		if len(strats) == 0 {
+	for i := 0; i < players; i++ {
+		first, last := g.playerStrategies(i)
+		if first == last {
 			return nil, fmt.Errorf("game: player %d has no strategies", i)
 		}
-		for s, uses := range strats {
-			if len(uses) == 0 {
-				return nil, fmt.Errorf("game: player %d strategy %d uses no resources", i, s)
+		for su := first; su < last; su++ {
+			lo, hi := int(g.useOff[su]), int(g.useOff[su+1])
+			if lo == hi {
+				return nil, fmt.Errorf("game: player %d strategy %d uses no resources", i, int(su-first))
 			}
-			seen := make(map[int]bool, len(uses))
-			for _, u := range uses {
-				if u.Resource < 0 || u.Resource >= len(resourceWeights) {
-					return nil, fmt.Errorf("game: player %d strategy %d references resource %d of %d", i, s, u.Resource, len(resourceWeights))
+			if hi-lo > g.maxUses {
+				g.maxUses = hi - lo
+			}
+			for _, u := range g.uses[lo:hi] {
+				if u.res < 0 || u.res >= len(g.weights) {
+					return nil, fmt.Errorf("game: player %d strategy %d references resource %d of %d", i, int(su-first), u.res, len(g.weights))
 				}
-				if !(u.Weight > 0) || math.IsInf(u.Weight, 0) {
-					return nil, fmt.Errorf("game: player %d strategy %d has invalid weight %v", i, s, u.Weight)
+				if !(u.w > 0) || math.IsInf(u.w, 0) {
+					return nil, fmt.Errorf("game: player %d strategy %d has invalid weight %v", i, int(su-first), u.w)
 				}
-				if seen[u.Resource] {
-					return nil, fmt.Errorf("game: player %d strategy %d uses resource %d twice", i, s, u.Resource)
+				if b.seenStrategy[u.res] == su {
+					return nil, fmt.Errorf("game: player %d strategy %d uses resource %d twice", i, int(su-first), u.res)
 				}
-				seen[u.Resource] = true
+				b.seenStrategy[u.res] = su
 			}
 		}
 	}
-	return &Game{weights: resourceWeights, strategies: strategies}, nil
+	b.buildIncidence()
+	for k := range g.uses {
+		u := &g.uses[k]
+		u.wm = g.weights[u.res] * u.w
+	}
+	return g, nil
+}
+
+// playerStrategies returns the [first, last) global strategy serials of
+// player i.
+func (g *Game) playerStrategies(i int) (first, last int32) {
+	return g.strOff[i], g.strOff[i+1]
+}
+
+// buildIncidence fills the two resource incidence indexes by counting
+// sort over the arena: deduplicated players per resource (Engine
+// invalidation) and use positions per resource (SetResourceWeight).
+func (b *Builder) buildIncidence() {
+	g := &b.g
+	resources := len(g.weights)
+	players := len(g.strOff) - 1
+
+	g.useIncOff = resizeInt32(g.useIncOff, resources+1)
+	for r := range g.useIncOff {
+		g.useIncOff[r] = 0
+	}
+	for _, u := range g.uses {
+		g.useIncOff[u.res+1]++
+	}
+	for r := 0; r < resources; r++ {
+		g.useIncOff[r+1] += g.useIncOff[r]
+	}
+	g.useIncPos = resizeInt32(g.useIncPos, len(g.uses))
+	b.incCursor = resizeInt32(b.incCursor, resources)
+	copy(b.incCursor, g.useIncOff[:resources])
+	for k, u := range g.uses {
+		at := b.incCursor[u.res]
+		g.useIncPos[at] = int32(k)
+		b.incCursor[u.res] = at + 1
+	}
+
+	// Distinct players per resource, deduplicated with a last-seen marker.
+	g.incOff = resizeInt32(g.incOff, resources+1)
+	for r := range g.incOff {
+		g.incOff[r] = 0
+	}
+	b.seenPlayer = resizeInt32(b.seenPlayer, resources)
+	for r := range b.seenPlayer {
+		b.seenPlayer[r] = -1
+	}
+	for i := 0; i < players; i++ {
+		first, last := g.playerStrategies(i)
+		for _, u := range g.uses[g.useOff[first]:g.useOff[last]] {
+			if b.seenPlayer[u.res] != int32(i) {
+				b.seenPlayer[u.res] = int32(i)
+				g.incOff[u.res+1]++
+			}
+		}
+	}
+	total := int32(0)
+	for r := 0; r < resources; r++ {
+		g.incOff[r+1] += g.incOff[r]
+	}
+	total = g.incOff[resources]
+	g.incPlayer = resizeInt32(g.incPlayer, int(total))
+	copy(b.incCursor, g.incOff[:resources])
+	for r := range b.seenPlayer {
+		b.seenPlayer[r] = -1
+	}
+	for i := 0; i < players; i++ {
+		first, last := g.playerStrategies(i)
+		for _, u := range g.uses[g.useOff[first]:g.useOff[last]] {
+			if b.seenPlayer[u.res] != int32(i) {
+				b.seenPlayer[u.res] = int32(i)
+				at := b.incCursor[u.res]
+				g.incPlayer[at] = int32(i)
+				b.incCursor[u.res] = at + 1
+			}
+		}
+	}
+}
+
+func resizeFloat(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+
+func clearFloats(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// New validates and builds a game. Every player needs at least one
+// strategy; resource indices must be in range; all weights must be
+// positive and finite. The weights slice is copied, not retained.
+func New(resourceWeights []float64, strategies [][][]Use) (*Game, error) {
+	b := NewBuilder()
+	b.Reset(len(resourceWeights))
+	copy(b.Weights(), resourceWeights)
+	for _, strats := range strategies {
+		b.NextPlayer()
+		for _, uses := range strats {
+			b.NextStrategy()
+			for _, u := range uses {
+				b.AddUse(u.Resource, u.Weight)
+			}
+		}
+	}
+	return b.Build()
 }
 
 // Players returns the number of players I.
-func (g *Game) Players() int { return len(g.strategies) }
+func (g *Game) Players() int { return len(g.strOff) - 1 }
 
 // Resources returns the number of resources |R|.
 func (g *Game) Resources() int { return len(g.weights) }
 
 // StrategyCount returns the size of player i's strategy set.
-func (g *Game) StrategyCount(i int) int { return len(g.strategies[i]) }
+func (g *Game) StrategyCount(i int) int { return int(g.strOff[i+1] - g.strOff[i]) }
+
+// ResourceWeight returns m_r.
+func (g *Game) ResourceWeight(r int) float64 { return g.weights[r] }
+
+// SetResourceWeight swaps m_r in place — the P2-A Reweight fast path,
+// where only the compute-resource weights 1/ω_n change between BDMA
+// rounds. Any Engine bound to the game holds stale caches afterwards and
+// must be reset before further incremental queries (Engine.CGBA and
+// Engine.MCBA reset unconditionally, so the solver entry points are safe).
+func (g *Game) SetResourceWeight(r int, m float64) error {
+	if r < 0 || r >= len(g.weights) {
+		return fmt.Errorf("game: resource %d of %d", r, len(g.weights))
+	}
+	if !(m > 0) || math.IsInf(m, 0) {
+		return fmt.Errorf("game: resource %d has invalid weight %v", r, m)
+	}
+	g.weights[r] = m
+	// Re-derive the premultiplied factors of every use of r through the
+	// use incidence index.
+	for _, k := range g.useIncPos[g.useIncOff[r]:g.useIncOff[r+1]] {
+		g.uses[k].wm = m * g.uses[k].w
+	}
+	return nil
+}
 
 // Profile is one strategy index per player.
 type Profile []int
@@ -99,7 +358,7 @@ func (g *Game) Valid(p Profile) bool {
 		return false
 	}
 	for i, s := range p {
-		if s < 0 || s >= len(g.strategies[i]) {
+		if s < 0 || s >= g.StrategyCount(i) {
 			return false
 		}
 	}
@@ -109,12 +368,18 @@ func (g *Game) Valid(p Profile) bool {
 // Loads returns p_r(z) for every resource under the profile.
 func (g *Game) Loads(p Profile) []float64 {
 	loads := make([]float64, len(g.weights))
+	g.loadsInto(loads, p)
+	return loads
+}
+
+// loadsInto accumulates the profile's loads into a zeroed slice, summing
+// in player order (the canonical order every load computation uses).
+func (g *Game) loadsInto(loads []float64, p Profile) {
 	for i, s := range p {
-		for _, u := range g.strategies[i][s] {
-			loads[u.Resource] += u.Weight
+		for _, u := range g.strategyUses(i, s) {
+			loads[u.res] += u.w
 		}
 	}
-	return loads
 }
 
 // SocialCost returns the objective Σ_r m_r p_r(z)² — the total latency
@@ -131,8 +396,8 @@ func (g *Game) SocialCost(p Profile) float64 {
 // PlayerCost returns T_i(z) given precomputed loads.
 func (g *Game) PlayerCost(p Profile, loads []float64, i int) float64 {
 	cost := 0.0
-	for _, u := range g.strategies[i][p[i]] {
-		cost += g.weights[u.Resource] * u.Weight * loads[u.Resource]
+	for _, u := range g.strategyUses(i, p[i]) {
+		cost += u.wm * loads[u.res]
 	}
 	return cost
 }
@@ -150,8 +415,8 @@ func (g *Game) Potential(p Profile) float64 {
 		phi += g.weights[r] * l * l
 	}
 	for i, s := range p {
-		for _, u := range g.strategies[i][s] {
-			phi += g.weights[u.Resource] * u.Weight * u.Weight
+		for _, u := range g.strategyUses(i, s) {
+			phi += u.wm * u.w
 		}
 	}
 	return phi / 2
@@ -159,24 +424,26 @@ func (g *Game) Potential(p Profile) float64 {
 
 // bestResponse returns player i's minimum-cost strategy against the other
 // players' contributions. loads must include player i's current strategy;
-// the function internally removes it.
+// the function internally removes it. Engine.refresh computes the same
+// quantity incrementally from cached state; the two must stay
+// bit-identical (see TestEngineMatchesRecomputation).
 func (g *Game) bestResponse(p Profile, loads []float64, i int) (strategy int, cost float64) {
 	// Loads without player i.
-	cur := g.strategies[i][p[i]]
+	cur := g.strategyUses(i, p[i])
 	without := func(r int) float64 {
 		l := loads[r]
 		for _, u := range cur {
-			if u.Resource == r {
-				return l - u.Weight
+			if u.res == r {
+				return l - u.w
 			}
 		}
 		return l
 	}
 	best, bestCost := -1, math.Inf(1)
-	for s, uses := range g.strategies[i] {
+	for s := 0; s < g.StrategyCount(i); s++ {
 		c := 0.0
-		for _, u := range uses {
-			c += g.weights[u.Resource] * u.Weight * (without(u.Resource) + u.Weight)
+		for _, u := range g.strategyUses(i, s) {
+			c += u.wm * (without(u.res) + u.w)
 		}
 		if c < bestCost {
 			best, bestCost = s, c
@@ -187,12 +454,12 @@ func (g *Game) bestResponse(p Profile, loads []float64, i int) (strategy int, co
 
 // applyMove switches player i to strategy s, updating loads in place.
 func (g *Game) applyMove(p Profile, loads []float64, i, s int) {
-	for _, u := range g.strategies[i][p[i]] {
-		loads[u.Resource] -= u.Weight
+	for _, u := range g.strategyUses(i, p[i]) {
+		loads[u.res] -= u.w
 	}
 	p[i] = s
-	for _, u := range g.strategies[i][s] {
-		loads[u.Resource] += u.Weight
+	for _, u := range g.strategyUses(i, s) {
+		loads[u.res] += u.w
 	}
 }
 

@@ -148,7 +148,11 @@ func (m *Metrics) WriteCSV(w io.Writer) error {
 }
 
 // Run simulates the controller against the state source for cfg.Slots
-// slots.
+// slots. Steady-state slots are allocation-light: the controller reuses
+// one P2A instance (the game arena is rebuilt in place each slot and only
+// reweighted between BDMA rounds) and one solve engine, and the Lemma-1
+// accumulators come from a pooled scratch, so per-slot heap work is
+// dominated by the recorded metrics, not the solve.
 func Run(ctrl *core.Controller, src trace.Source, cfg Config) (*Metrics, error) {
 	if ctrl == nil {
 		return nil, errors.New("sim: nil controller")
