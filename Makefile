@@ -2,17 +2,27 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test race cover fuzz bench bench-quick examples paper clean
+.PHONY: all verify build lint vet test race cover fuzz bench bench-quick examples paper clean
 
 all: build vet test
 
 # verify is the pre-merge flow: correctness, the race detector over the
 # mutable Engine/P2A reuse paths, and a compile-and-run pass over every
 # benchmark.
-verify: build vet test race bench-quick
+verify: build lint test race bench-quick
 
 build:
 	$(GO) build ./...
+
+# lint gates on formatting and static analysis. staticcheck is optional
+# locally (skipped with a notice when not installed); CI installs it.
+lint: vet
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; fi
 
 vet:
 	$(GO) vet ./...

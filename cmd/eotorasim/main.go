@@ -44,13 +44,15 @@ func run(args []string) error {
 		resumeFrom = fs.String("resume", "", "checkpoint file to resume from (see -checkpoint)")
 		configFile = fs.String("config", "", "JSON run-spec file; flags for scenario/controller are ignored when set")
 		saveTo     = fs.String("checkpoint", "", "write a checkpoint file after the run")
+		metrics    = fs.String("metrics", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address during the run, e.g. :6060")
+		obsOut     = fs.String("obs-out", "", "write the observability snapshot here after the run (.csv → CSV, else JSON)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *configFile != "" {
-		return runFromConfig(*configFile, *csv, *saveTo, *resumeFrom)
+		return runFromConfig(*configFile, *csv, *saveTo, *resumeFrom, *metrics, *obsOut)
 	}
 
 	sc, err := experiments.NewScenario(experiments.ScenarioOptions{
@@ -96,6 +98,11 @@ func run(args []string) error {
 		return err
 	}
 
+	reg, err := attachObs(ctrl, *metrics, *obsOut)
+	if err != nil {
+		return err
+	}
+
 	if *resumeFrom != "" {
 		f, err := os.Open(*resumeFrom)
 		if err != nil {
@@ -120,9 +127,15 @@ func run(args []string) error {
 		}
 	}
 
-	metrics, err := sim.Run(ctrl, gen, sim.Config{Slots: *slots, Warmup: *warmup})
+	res, err := sim.Run(ctrl, gen, sim.Config{Slots: *slots, Warmup: *warmup})
 	if err != nil {
 		return err
+	}
+
+	if *obsOut != "" {
+		if err := writeObsSnapshot(*obsOut, reg); err != nil {
+			return err
+		}
 	}
 
 	if *saveTo != "" {
@@ -140,7 +153,7 @@ func run(args []string) error {
 	}
 
 	if *csv {
-		return metrics.WriteCSV(os.Stdout)
+		return res.WriteCSV(os.Stdout)
 	}
 
 	k, m, n, i := sc.Net.Counts()
@@ -148,17 +161,17 @@ func run(args []string) error {
 	fmt.Printf("controller: %s-based DPP, V=%g, z=%d, λ=%g\n", ctrl.SolverName(), *v, *z, *lambda)
 	fmt.Printf("budget:   $%.4f per slot\n", sc.Sys.Budget.Dollars())
 	fmt.Printf("slots:    %d (%d warmup)\n\n", *slots, *warmup)
-	fmt.Printf("avg latency:       %.4f s (sum over devices per slot)\n", metrics.AvgLatency())
-	fmt.Printf("avg energy cost:   $%.4f per slot\n", metrics.AvgCost())
+	fmt.Printf("avg latency:       %.4f s (sum over devices per slot)\n", res.AvgLatency())
+	fmt.Printf("avg energy cost:   $%.4f per slot\n", res.AvgCost())
 	fmt.Printf("budget satisfied:  %v (realized/budget = %.3f)\n",
-		metrics.BudgetSatisfied(0.02), metrics.AvgCost()/metrics.Budget)
-	fmt.Printf("avg queue backlog: %.3f\n", metrics.AvgBacklog())
-	fmt.Printf("avg decision time: %v per slot\n", metrics.AvgDecisionTime())
+		res.BudgetSatisfied(0.02), res.AvgCost()/res.Budget)
+	fmt.Printf("avg queue backlog: %.3f\n", res.AvgBacklog())
+	fmt.Printf("avg decision time: %v per slot\n", res.AvgDecisionTime())
 	return nil
 }
 
 // runFromConfig executes a JSON run spec.
-func runFromConfig(path string, csv bool, saveTo, resumeFrom string) error {
+func runFromConfig(path string, csv bool, saveTo, resumeFrom, metricsAddr, obsOut string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -172,6 +185,10 @@ func runFromConfig(path string, csv bool, saveTo, resumeFrom string) error {
 		return closeErr
 	}
 	sc, gen, ctrl, cfg, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	reg, err := attachObs(ctrl, metricsAddr, obsOut)
 	if err != nil {
 		return err
 	}
@@ -198,6 +215,11 @@ func runFromConfig(path string, csv bool, saveTo, resumeFrom string) error {
 	metrics, err := sim.Run(ctrl, gen, cfg)
 	if err != nil {
 		return err
+	}
+	if obsOut != "" {
+		if err := writeObsSnapshot(obsOut, reg); err != nil {
+			return err
+		}
 	}
 	if saveTo != "" {
 		cf, err := os.Create(saveTo)

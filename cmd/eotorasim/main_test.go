@@ -1,9 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"eotora/internal/core"
+	"eotora/internal/obs"
 )
 
 func TestRunSmallSimulation(t *testing.T) {
@@ -60,5 +67,85 @@ func TestRunFromConfigFile(t *testing.T) {
 	}
 	if err := run([]string{"-config", bad}); err == nil {
 		t.Error("unknown config field accepted")
+	}
+}
+
+func TestRunWithObsOut(t *testing.T) {
+	dir := t.TempDir()
+	jsonOut := filepath.Join(dir, "obs.json")
+	if err := run([]string{"-devices", "5", "-slots", "6", "-warmup", "1", "-z", "1", "-obs-out", jsonOut}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Counters[core.MetricSlots] != 6 {
+		t.Errorf("controller.slots = %d, want 6", snap.Counters[core.MetricSlots])
+	}
+	for _, name := range []string{core.MetricDecisionSeconds, core.MetricLatencySeconds, core.MetricBacklog} {
+		if h, ok := snap.Histograms[name]; !ok || h.Count != 6 {
+			t.Errorf("histogram %s = %+v, want 6 observations", name, h)
+		}
+	}
+	if snap.Counters[core.MetricCGBASolves] == 0 || snap.Counters[core.MetricP2BSolves] == 0 {
+		t.Error("solver instruments not recorded")
+	}
+
+	csvOut := filepath.Join(dir, "obs.csv")
+	if err := run([]string{"-devices", "5", "-slots", "4", "-z", "1", "-warmup", "1", "-obs-out", csvOut}); err != nil {
+		t.Fatal(err)
+	}
+	csvRaw, err := os.ReadFile(csvOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csvRaw), "kind,name,field,value\n") {
+		t.Errorf("CSV snapshot missing header:\n%s", csvRaw)
+	}
+}
+
+func TestMetricsServerSmoke(t *testing.T) {
+	reg := obs.New()
+	reg.Counter(core.MetricSlots).Add(3)
+	ln, err := startMetricsServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, `"eotora"`) || !strings.Contains(vars, "controller.slots") {
+		t.Errorf("/debug/vars missing eotora registry:\n%.400s", vars)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Errorf("/debug/pprof/ index unexpected:\n%.200s", idx)
+	}
+	get("/debug/pprof/cmdline")
+
+	// The full CLI path: -metrics with an ephemeral port must run clean.
+	if err := run([]string{"-devices", "5", "-slots", "4", "-warmup", "1", "-z", "1", "-metrics", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
 	}
 }

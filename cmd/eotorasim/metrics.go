@@ -1,0 +1,82 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
+
+	"eotora/internal/core"
+	"eotora/internal/obs"
+)
+
+// attachObs instruments the controller when -metrics or -obs-out asks for
+// observability: it attaches a fresh registry and, with a non-empty addr,
+// starts the expvar/pprof server and logs the bound address (addr may use
+// port 0 to pick a free port). It returns the registry, nil when
+// observability is off.
+func attachObs(ctrl *core.Controller, addr, obsOut string) (*obs.Registry, error) {
+	if addr == "" && obsOut == "" {
+		return nil, nil
+	}
+	reg := obs.New()
+	ctrl.SetObs(reg)
+	if addr != "" {
+		ln, err := startMetricsServer(addr, reg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "eotorasim: metrics on http://%s/debug/vars (pprof on /debug/pprof/)\n", ln.Addr())
+	}
+	return reg, nil
+}
+
+// startMetricsServer publishes the registry under the "eotora" expvar and
+// serves /debug/vars (expvar) plus /debug/pprof/* on addr. It returns the
+// bound listener (addr may carry port 0) — the server runs until the
+// process exits, which for this one-shot CLI is when the run finishes.
+func startMetricsServer(addr string, reg *obs.Registry) (net.Listener, error) {
+	if err := reg.PublishExpvar("eotora"); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "eotorasim: metrics server:", err)
+		}
+	}()
+	return ln, nil
+}
+
+// writeObsSnapshot dumps the registry's end-of-run snapshot to path: CSV
+// when the path ends in .csv, indented JSON otherwise.
+func writeObsSnapshot(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	snap := reg.Snapshot()
+	if strings.HasSuffix(path, ".csv") {
+		err = snap.WriteCSV(f)
+	} else {
+		err = snap.WriteJSON(f)
+	}
+	if closeErr := f.Close(); err == nil {
+		err = closeErr
+	}
+	return err
+}

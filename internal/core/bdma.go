@@ -48,23 +48,23 @@ type BDMAResult struct {
 // V·T(ᾱ) + Q·Θ(Ω̄) ≤ R·V·T(α) + Q·Θ(Ω) for any feasible α, with
 // R = 2.62·R_F/(1−8λ) and R_F = max_n F_n^U/F_n^L.
 func (s *System) BDMA(st *trace.State, v, q float64, cfg BDMAConfig, src *rng.Source) (BDMAResult, error) {
-	return s.bdmaScratch(st, v, q, cfg, src, nil)
+	return s.bdmaScratch(st, v, q, cfg, src, nil, solveInstr{})
 }
 
 // bdmaScratch is BDMA with an optional reusable P2A; the controller passes
 // its per-instance scratch so steady-state slots rebuild the game arena in
-// place instead of reallocating it.
-func (s *System) bdmaScratch(st *trace.State, v, q float64, cfg BDMAConfig, src *rng.Source, scratch *P2A) (BDMAResult, error) {
+// place instead of reallocating it, plus its solve instruments.
+func (s *System) bdmaScratch(st *trace.State, v, q float64, cfg BDMAConfig, src *rng.Source, scratch *P2A, in solveInstr) (BDMAResult, error) {
 	if q < 0 || math.IsNaN(q) {
 		return BDMAResult{}, fmt.Errorf("core: BDMA needs Q ≥ 0, got %v", q)
 	}
 	solve := func(sel Selection) (Frequencies, error) {
-		return s.SolveP2B(sel, st, v, q)
+		return s.solveP2B(sel, st, v, func(int) float64 { return q }, in)
 	}
 	objective := func(sel Selection, freq Frequencies) float64 {
 		return s.P2Objective(sel, freq, st, v, q)
 	}
-	best, err := s.bdmaLoop(st, cfg, src, solve, objective, scratch)
+	best, err := s.bdmaLoop(st, cfg, src, solve, objective, scratch, in)
 	if err != nil {
 		return BDMAResult{}, err
 	}
@@ -77,7 +77,8 @@ func (s *System) bdmaScratch(st *trace.State, v, q float64, cfg BDMAConfig, src 
 // variants share one implementation. scratch, when non-nil, supplies a
 // reusable P2A; round 0 rebuilds it for the slot state and later rounds
 // only reweight the N compute resources (the sole Ω-dependent part of the
-// game), skipping the structural rebuild entirely.
+// game), skipping the structural rebuild entirely. in records the
+// alternation's round statistics (zero value records nothing).
 func (s *System) bdmaLoop(
 	st *trace.State,
 	cfg BDMAConfig,
@@ -85,6 +86,7 @@ func (s *System) bdmaLoop(
 	solveP2B func(Selection) (Frequencies, error),
 	objective func(Selection, Frequencies) float64,
 	scratch *P2A,
+	in solveInstr,
 ) (BDMAResult, error) {
 	if err := s.CheckState(st); err != nil {
 		return BDMAResult{}, err
@@ -103,6 +105,7 @@ func (s *System) bdmaLoop(
 
 	freq := s.LowestFrequencies()
 	best := BDMAResult{Objective: math.Inf(1)}
+	bestRound := 0
 	for iter := 0; iter < iters; iter++ {
 		var err error
 		if iter == 0 {
@@ -129,11 +132,14 @@ func (s *System) bdmaLoop(
 			best.Objective = obj
 			best.Selection = sel.Clone()
 			best.Freq = freq.Clone()
+			bestRound = iter + 1
 		}
 	}
 	if best.Selection.Station == nil {
 		return BDMAResult{}, errors.New("core: BDMA produced no decision")
 	}
+	in.bdmaRounds.Add(int64(iters))
+	in.bdmaBestRound.Observe(float64(bestRound))
 	best.Latency = s.ReducedLatency(best.Selection, best.Freq, st).Value()
 	return best, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"eotora/internal/obs"
 	"eotora/internal/rng"
 	"eotora/internal/topology"
 	"eotora/internal/trace"
@@ -39,6 +40,30 @@ func BenchmarkControllerStep(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			states := trace.Record(gen, 32)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ctrl.Step(states[i%len(states)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkControllerStepObs is BenchmarkControllerStep with a live obs
+// registry attached — the -benchmem pair for the observability overhead
+// budget: within ~5% of the uninstrumented run and zero additional
+// allocations per slot from obs itself.
+func BenchmarkControllerStepObs(b *testing.B) {
+	for _, devices := range []int{25, 50, 100} {
+		b.Run(fmt.Sprintf("devices=%d", devices), func(b *testing.B) {
+			sys, gen := benchSystem(b, devices)
+			ctrl, err := NewBDMAController(sys, 100, 5, 0, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctrl.SetObs(obs.New())
 			states := trace.Record(gen, 32)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

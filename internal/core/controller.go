@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"eotora/internal/lyapunov"
+	"eotora/internal/obs"
 	"eotora/internal/rng"
 	"eotora/internal/solver"
 	"eotora/internal/stats"
@@ -68,6 +69,12 @@ type Controller struct {
 	cfg   ControllerConfig
 	slot  int
 	p2a   P2A // reusable P2-A instance; BDMA rebuilds it in place each slot
+
+	// Observability (see instr.go). obs is the registry attached with
+	// SetObs (nil = off); instr holds the pre-resolved instrument handles
+	// the per-slot path records through.
+	obs   *obs.Registry
+	instr ctrlInstr
 }
 
 // NewController builds a controller over a system. Systems with
@@ -157,9 +164,9 @@ func (c *Controller) StepWithObservation(observed, realized *trace.State) (*Slot
 		err error
 	)
 	if c.rooms != nil {
-		res, err = c.sys.bdmaRoomsScratch(observed, c.dpp.V, c.rooms.Backlogs(), c.cfg.BDMA, src, &c.p2a)
+		res, err = c.sys.bdmaRoomsScratch(observed, c.dpp.V, c.rooms.Backlogs(), c.cfg.BDMA, src, &c.p2a, c.instr.solve)
 	} else {
-		res, err = c.sys.bdmaScratch(observed, c.dpp.V, c.dpp.Queue.Backlog(), c.cfg.BDMA, src, &c.p2a)
+		res, err = c.sys.bdmaScratch(observed, c.dpp.V, c.dpp.Queue.Backlog(), c.cfg.BDMA, src, &c.p2a, c.instr.solve)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: slot %d: %w", c.slot, err)
@@ -207,6 +214,7 @@ func (c *Controller) StepWithObservation(observed, realized *trace.State) (*Slot
 		out.Backlog = c.dpp.Commit(res.Theta)
 	}
 	out.Elapsed = time.Since(start)
+	c.instr.record(out)
 	return out, nil
 }
 

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"eotora/internal/game"
+	"eotora/internal/obs"
+)
+
+// Metric names recorded by an instrumented controller. One flat
+// dot-separated namespace; DESIGN.md §8 documents the semantics.
+const (
+	// Per-slot controller series (Algorithm 1).
+	MetricSlots           = "controller.slots"            // counter: slots decided
+	MetricDecisionSeconds = "controller.decision_seconds" // histogram: wall-clock per slot
+	MetricLatencySeconds  = "controller.latency_seconds"  // histogram: T_t per slot
+	MetricTheta           = "controller.theta"            // histogram: Θ_t = C_t − C̄ per slot
+	MetricBacklog         = "controller.backlog"          // histogram: Q(t+1) per slot
+	MetricBacklogNow      = "controller.backlog_now"      // gauge: latest Q(t+1)
+
+	// BDMA alternation (Algorithm 2).
+	MetricBDMARounds    = "bdma.rounds"     // counter: alternation rounds executed
+	MetricBDMABestRound = "bdma.best_round" // histogram: 1-based round yielding the kept decision
+
+	// P2-B per-server convex solves.
+	MetricP2BSolves     = "p2b.solves"     // counter: per-server 1-D solves
+	MetricP2BIterations = "p2b.iterations" // histogram: golden-section steps per solve
+
+	// P2-A game engine (Algorithm 3 and the MCBA baseline).
+	MetricCGBASolves     = "cgba.solves"       // counter: CGBA solves
+	MetricCGBAIterations = "cgba.iterations"   // histogram: improvement steps per solve
+	MetricMCBAIterations = "mcba.iterations"   // histogram: walk length per solve
+	MetricCacheHits      = "engine.cache_hits" // counter: best-response cache hits
+	MetricCacheMisses    = "engine.cache_miss" // counter: best-response cache misses
+	MetricEngineMoves    = "engine.moves"      // counter: strategy switches applied
+)
+
+// solveInstr carries the per-slot solve instruments through the BDMA
+// alternation and into P2-B. The zero value (all-nil handles) records
+// nothing and is always safe to pass — obs instruments are nil-safe.
+type solveInstr struct {
+	bdmaRounds    *obs.Counter
+	bdmaBestRound *obs.Histogram
+	p2bSolves     *obs.Counter
+	p2bIters      *obs.Histogram
+}
+
+// ctrlInstr is the controller's full instrument set, resolved once in
+// SetObs so the per-slot path performs no registry lookups.
+type ctrlInstr struct {
+	slots    *obs.Counter
+	decision *obs.Histogram
+	latency  *obs.Histogram
+	theta    *obs.Histogram
+	backlog  *obs.Histogram
+	backlogG *obs.Gauge
+	solve    solveInstr
+}
+
+// SetObs attaches an observability registry to the controller: per-slot
+// decision time, reduced latency T_t, energy-cost violation Θ_t, and
+// backlog Q(t) histograms, plus the BDMA/P2-B/engine instruments listed
+// in the Metric* constants. Passing nil detaches instrumentation (the
+// default). The call resolves every instrument once; the per-slot hot
+// path then records through the typed handles without allocation.
+func (c *Controller) SetObs(reg *obs.Registry) {
+	c.obs = reg
+	c.instr = ctrlInstr{
+		slots:    reg.Counter(MetricSlots),
+		decision: reg.Histogram(MetricDecisionSeconds),
+		latency:  reg.Histogram(MetricLatencySeconds),
+		theta:    reg.Histogram(MetricTheta),
+		backlog:  reg.Histogram(MetricBacklog),
+		backlogG: reg.Gauge(MetricBacklogNow),
+		solve: solveInstr{
+			bdmaRounds:    reg.Counter(MetricBDMARounds),
+			bdmaBestRound: reg.Histogram(MetricBDMABestRound),
+			p2bSolves:     reg.Counter(MetricP2BSolves),
+			p2bIters:      reg.Histogram(MetricP2BIterations),
+		},
+	}
+	c.p2a.SetInstruments(game.Instruments{
+		CGBASolves:     reg.Counter(MetricCGBASolves),
+		CGBAIterations: reg.Histogram(MetricCGBAIterations),
+		MCBAIterations: reg.Histogram(MetricMCBAIterations),
+		CacheHits:      reg.Counter(MetricCacheHits),
+		CacheMisses:    reg.Counter(MetricCacheMisses),
+		Moves:          reg.Counter(MetricEngineMoves),
+	})
+}
+
+// Obs returns the registry attached with SetObs, or nil.
+func (c *Controller) Obs() *obs.Registry { return c.obs }
+
+// record captures one slot's outcome in the attached instruments; a
+// detached controller pays only nil checks.
+func (in *ctrlInstr) record(res *SlotResult) {
+	in.slots.Inc()
+	in.decision.Observe(res.Elapsed.Seconds())
+	in.latency.Observe(res.Latency.Value())
+	in.theta.Observe(res.Theta)
+	in.backlog.Observe(res.Backlog)
+	in.backlogG.Set(res.Backlog)
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"eotora/internal/obs"
+	"eotora/internal/trace"
+)
+
+// TestControllerObsRecording checks that an instrumented controller fills
+// every instrument with the expected volumes.
+func TestControllerObsRecording(t *testing.T) {
+	sys, gen := buildSystem(t, 25, 3)
+	const z, slots = 2, 5
+	ctrl, err := NewBDMAController(sys, 100, z, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	ctrl.SetObs(reg)
+	if ctrl.Obs() != reg {
+		t.Fatal("Obs() does not return the attached registry")
+	}
+	states := trace.Record(gen, slots)
+	for _, st := range states {
+		if _, err := ctrl.Step(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[MetricSlots]; got != slots {
+		t.Errorf("%s = %d, want %d", MetricSlots, got, slots)
+	}
+	if got := snap.Counters[MetricBDMARounds]; got != slots*z {
+		t.Errorf("%s = %d, want %d", MetricBDMARounds, got, slots*z)
+	}
+	// Every BDMA round runs up to one P2-B solve per server (unloaded
+	// servers with Q = 0 take the F^L shortcut without a 1-D solve) and
+	// exactly one CGBA solve.
+	servers := len(sys.Net.Servers)
+	p2bSolves := snap.Counters[MetricP2BSolves]
+	if p2bSolves == 0 || p2bSolves > int64(slots*z*servers) {
+		t.Errorf("%s = %d, want in (0, %d]", MetricP2BSolves, p2bSolves, slots*z*servers)
+	}
+	if got := snap.Counters[MetricCGBASolves]; got != slots*z {
+		t.Errorf("%s = %d, want %d", MetricCGBASolves, got, slots*z)
+	}
+	for _, name := range []string{
+		MetricDecisionSeconds, MetricLatencySeconds, MetricTheta, MetricBacklog,
+	} {
+		if h := snap.Histograms[name]; h.Count != slots {
+			t.Errorf("histogram %s count = %d, want %d", name, h.Count, slots)
+		}
+	}
+	if h := snap.Histograms[MetricBDMABestRound]; h.Count != slots || h.Min < 1 || h.Max > z {
+		t.Errorf("%s = %+v, want %d observations in [1, %d]", MetricBDMABestRound, h, slots, z)
+	}
+	if h := snap.Histograms[MetricCGBAIterations]; h.Count != slots*z {
+		t.Errorf("%s count = %d, want %d", MetricCGBAIterations, h.Count, slots*z)
+	}
+	if h := snap.Histograms[MetricP2BIterations]; h.Count != p2bSolves {
+		t.Errorf("%s count = %d, want one observation per solve (%d)", MetricP2BIterations, h.Count, p2bSolves)
+	}
+	// The engine must have both exercised and reused its caches.
+	if snap.Counters[MetricCacheMisses] == 0 {
+		t.Error("no cache misses recorded — refresh path not instrumented")
+	}
+	if snap.Counters[MetricCacheHits] == 0 {
+		t.Error("no cache hits recorded — caching apparently never reused")
+	}
+	if snap.Gauges[MetricBacklogNow] != ctrl.Backlog() {
+		t.Errorf("%s = %g, want current backlog %g",
+			MetricBacklogNow, snap.Gauges[MetricBacklogNow], ctrl.Backlog())
+	}
+
+	// Detaching stops recording.
+	ctrl.SetObs(nil)
+	if _, err := ctrl.Step(states[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(MetricSlots).Value(); got != slots {
+		t.Errorf("detached controller still recorded: slots = %d", got)
+	}
+}
+
+// TestObsDoesNotPerturbDecisions is the observability contract: an
+// instrumented controller reproduces the uninstrumented controller's
+// decisions bit-for-bit.
+func TestObsDoesNotPerturbDecisions(t *testing.T) {
+	sysA, genA := buildSystem(t, 8, 7)
+	sysB, genB := buildSystem(t, 8, 7)
+	plain, err := NewBDMAController(sysA, 100, 2, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented, err := NewBDMAController(sysB, 100, 2, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented.SetObs(obs.New())
+	for s := 0; s < 5; s++ {
+		stA, stB := genA.Next(), genB.Next()
+		a, err := plain.Step(stA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := instrumented.Step(stB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Latency != b.Latency || a.EnergyCost != b.EnergyCost ||
+			a.Theta != b.Theta || a.Backlog != b.Backlog || a.Objective != b.Objective {
+			t.Fatalf("slot %d diverged under instrumentation:\nplain %+v\nobs   %+v", s, a, b)
+		}
+		for i := range a.Decision.Selection.Station {
+			if a.Decision.Selection.Station[i] != b.Decision.Selection.Station[i] ||
+				a.Decision.Selection.Server[i] != b.Decision.Selection.Server[i] {
+				t.Fatalf("slot %d device %d selection diverged", s, i)
+			}
+		}
+	}
+}
+
+// TestMCBAInstrumented covers the MCBA walk-length instrument.
+func TestMCBAInstrumented(t *testing.T) {
+	sys, gen := buildSystem(t, 6, 4)
+	ctrl, err := NewMCBAController(sys, 100, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	ctrl.SetObs(reg)
+	if _, err := ctrl.Step(gen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	if h := reg.Snapshot().Histograms[MetricMCBAIterations]; h.Count != 1 || h.Sum <= 0 {
+		t.Errorf("%s = %+v, want one positive observation", MetricMCBAIterations, h)
+	}
+}

@@ -71,7 +71,7 @@ func (s *System) RoomThetas(freq Frequencies, price units.Price) map[int]float64
 // energy term is weighted by qByRoom of its hosting room.
 func (s *System) SolveP2BPerRoom(sel Selection, st *trace.State, v float64, qByRoom map[int]float64) (Frequencies, error) {
 	qOf := func(n int) float64 { return qByRoom[s.Net.Servers[n].Room] }
-	return s.solveP2B(sel, st, v, qOf)
+	return s.solveP2B(sel, st, v, qOf, solveInstr{})
 }
 
 // P2ObjectiveRooms evaluates V·T_t + Σ_m Q_m·Θ_m for a candidate decision.
@@ -87,12 +87,12 @@ func (s *System) P2ObjectiveRooms(sel Selection, freq Frequencies, st *trace.Sta
 // identical, but P2-B weighs each server's energy by its room's queue and
 // the objective sums the per-room drift terms.
 func (s *System) BDMARooms(st *trace.State, v float64, qByRoom map[int]float64, cfg BDMAConfig, src *rng.Source) (BDMAResult, error) {
-	return s.bdmaRoomsScratch(st, v, qByRoom, cfg, src, nil)
+	return s.bdmaRoomsScratch(st, v, qByRoom, cfg, src, nil, solveInstr{})
 }
 
-// bdmaRoomsScratch is BDMARooms with an optional reusable P2A (see
-// bdmaScratch).
-func (s *System) bdmaRoomsScratch(st *trace.State, v float64, qByRoom map[int]float64, cfg BDMAConfig, src *rng.Source, scratch *P2A) (BDMAResult, error) {
+// bdmaRoomsScratch is BDMARooms with an optional reusable P2A and solve
+// instruments (see bdmaScratch).
+func (s *System) bdmaRoomsScratch(st *trace.State, v float64, qByRoom map[int]float64, cfg BDMAConfig, src *rng.Source, scratch *P2A, in solveInstr) (BDMAResult, error) {
 	if err := s.ValidateRoomBudgets(); err != nil {
 		return BDMAResult{}, err
 	}
@@ -105,12 +105,13 @@ func (s *System) bdmaRoomsScratch(st *trace.State, v float64, qByRoom map[int]fl
 		}
 	}
 	solve := func(sel Selection) (Frequencies, error) {
-		return s.SolveP2BPerRoom(sel, st, v, qByRoom)
+		qOf := func(n int) float64 { return qByRoom[s.Net.Servers[n].Room] }
+		return s.solveP2B(sel, st, v, qOf, in)
 	}
 	objective := func(sel Selection, freq Frequencies) float64 {
 		return s.P2ObjectiveRooms(sel, freq, st, v, qByRoom)
 	}
-	res, err := s.bdmaLoop(st, cfg, src, solve, objective, scratch)
+	res, err := s.bdmaLoop(st, cfg, src, solve, objective, scratch, in)
 	if err != nil {
 		return BDMAResult{}, err
 	}

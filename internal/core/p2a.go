@@ -39,6 +39,10 @@ type P2A struct {
 	lookup    []int32
 	stations  int
 	servers   int
+
+	// instr holds the engine's observability hooks, applied when the lazy
+	// engine is created (and immediately if it already exists).
+	instr game.Instruments
 }
 
 // resource indexing inside the game:
@@ -196,8 +200,18 @@ func (p *P2A) Game() *game.Game { return p.game }
 func (p *P2A) Engine() *game.Engine {
 	if p.engine == nil {
 		p.engine = game.NewEngine(p.game)
+		p.engine.SetInstruments(p.instr)
 	}
 	return p.engine
+}
+
+// SetInstruments installs observability hooks on the P2A's solve engine
+// (now if it exists, otherwise when it is lazily created).
+func (p *P2A) SetInstruments(in game.Instruments) {
+	p.instr = in
+	if p.engine != nil {
+		p.engine.SetInstruments(in)
+	}
 }
 
 // Selection converts a game profile into per-device (station, server)

@@ -27,13 +27,14 @@ func (s *System) SolveP2B(sel Selection, st *trace.State, v, q float64) (Frequen
 	if q < 0 || math.IsNaN(q) {
 		return nil, fmt.Errorf("core: P2-B needs Q ≥ 0, got %v", q)
 	}
-	return s.solveP2B(sel, st, v, func(int) float64 { return q })
+	return s.solveP2B(sel, st, v, func(int) float64 { return q }, solveInstr{})
 }
 
 // solveP2B is the shared per-server convex solve; qOf supplies the queue
 // weight applied to each server's energy term (constant for the paper's
-// global budget, per-room for the multi-budget extension).
-func (s *System) solveP2B(sel Selection, st *trace.State, v float64, qOf func(server int) float64) (Frequencies, error) {
+// global budget, per-room for the multi-budget extension). in records
+// per-server solver work (the zero value records nothing).
+func (s *System) solveP2B(sel Selection, st *trace.State, v float64, qOf func(server int) float64, in solveInstr) (Frequencies, error) {
 	if !(v > 0) {
 		return nil, fmt.Errorf("core: P2-B needs V > 0, got %v", v)
 	}
@@ -69,10 +70,12 @@ func (s *System) solveP2B(sel Selection, st *trace.State, v float64, qOf func(se
 			freq[n] = srv.MinFreq
 			continue
 		}
-		w, _, err := solver.Minimize1D(obj, srv.MinFreq.Hertz(), srv.MaxFreq.Hertz(), 1e3)
+		w, _, steps, err := solver.Minimize1DSteps(obj, srv.MinFreq.Hertz(), srv.MaxFreq.Hertz(), 1e3)
 		if err != nil {
 			return nil, fmt.Errorf("core: P2-B server %d: %w", n, err)
 		}
+		in.p2bSolves.Inc()
+		in.p2bIters.Observe(float64(steps))
 		freq[n] = units.Frequency(w)
 	}
 	return freq, nil

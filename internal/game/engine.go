@@ -46,6 +46,11 @@ type Engine struct {
 	candStrats []int
 	scratchLds []float64 // fresh-loads scratch for exact SocialCost
 	mcbaBest   Profile   // MCBA best-so-far buffer
+
+	// Observability (see instruments.go): instr holds the optional obs
+	// handles; tally is the engine-local count state flushed per solve.
+	instr Instruments
+	tally engineTallies
 }
 
 // NewEngine returns an Engine bound to g with all caches invalid.
@@ -128,8 +133,10 @@ func (e *Engine) invalidateAll() {
 // Game.bestResponse into the same pass.
 func (e *Engine) refresh(i int) {
 	if !e.dirty[i] {
+		e.tally.hits++
 		return
 	}
+	e.tally.misses++
 	g := e.g
 	first, last := g.playerStrategies(i)
 	cs := first + int32(e.profile[i])
@@ -216,6 +223,7 @@ func (e *Engine) Move(i, s int) error {
 // incident to a touched resource is dirtied; players sharing no touched
 // resource keep bit-unchanged inputs, so their caches stay valid.
 func (e *Engine) move(i, s int) {
+	e.tally.moves++
 	g := e.g
 	for _, u := range g.strategyUses(i, e.profile[i]) {
 		e.loads[u.res] -= u.w
@@ -320,6 +328,7 @@ func (e *Engine) CGBA(cfg CGBAConfig, src *rng.Source) (Result, error) {
 			}
 		}
 		if mover < 0 {
+			e.recordCGBA(iterations)
 			return Result{
 				Profile:        e.profile.Clone(),
 				Objective:      g.SocialCost(e.profile),
@@ -332,12 +341,20 @@ func (e *Engine) CGBA(cfg CGBAConfig, src *rng.Source) (Result, error) {
 			objTrace = append(objTrace, g.SocialCost(e.profile))
 		}
 	}
+	e.recordCGBA(iterations)
 	return Result{
 		Profile:        e.profile.Clone(),
 		Objective:      g.SocialCost(e.profile),
 		Iterations:     iterations,
 		ObjectiveTrace: objTrace,
 	}, ErrNoConverge
+}
+
+// recordCGBA flushes the solve's tallies and records its iteration count.
+func (e *Engine) recordCGBA(iterations int) {
+	e.instr.CGBASolves.Inc()
+	e.instr.CGBAIterations.Observe(float64(iterations))
+	e.flushInstr()
 }
 
 // IsEquilibrium reports whether the engine's current profile is a λ-Nash
@@ -446,6 +463,8 @@ func (e *Engine) MCBA(cfg MCBAConfig, src *rng.Source) (Result, error) {
 	}
 	// The walk moved profile/loads behind the caches' back.
 	e.invalidateAll()
+	e.instr.MCBAIterations.Observe(float64(iters))
+	e.flushInstr()
 	return Result{Profile: best.Clone(), Objective: g.SocialCost(best), Iterations: iters}, nil
 }
 

@@ -286,7 +286,6 @@ func resizeInt32(s []int32, n int) []int32 {
 	return s[:n]
 }
 
-
 func clearFloats(s []float64) {
 	for i := range s {
 		s[i] = 0

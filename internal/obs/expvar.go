@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"sync"
+)
+
+// published tracks expvar names this package owns, so a name can be
+// re-pointed at a new registry (expvar itself forbids re-publication).
+var published = struct {
+	sync.Mutex
+	m map[string]*publishedVar
+}{m: make(map[string]*publishedVar)}
+
+type publishedVar struct {
+	mu sync.Mutex
+	r  *Registry
+}
+
+func (p *publishedVar) get() *Registry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.r
+}
+
+func (p *publishedVar) set(r *Registry) {
+	p.mu.Lock()
+	p.r = r
+	p.mu.Unlock()
+}
+
+// PublishExpvar exposes the registry's live snapshot under the given
+// expvar name (served by /debug/vars). Publishing the same name again —
+// e.g. a fresh registry for a new run — re-points the existing expvar at
+// the new registry. Publishing a name already taken by a non-obs expvar
+// is an error. Nil registries publish as empty snapshots.
+func (r *Registry) PublishExpvar(name string) error {
+	published.Lock()
+	defer published.Unlock()
+	if p, ok := published.m[name]; ok {
+		p.set(r)
+		return nil
+	}
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("obs: expvar name %q already in use", name)
+	}
+	p := &publishedVar{r: r}
+	published.m[name] = p
+	expvar.Publish(name, expvar.Func(func() any { return p.get().Snapshot() }))
+	return nil
+}

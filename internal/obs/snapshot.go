@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Bucket is one non-empty histogram bucket in a snapshot. Le is the
+// bucket's exclusive upper bound (+Inf for the overflow bucket).
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Min and Max
+// are NaN when the histogram has no observations.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observation (NaN when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return math.NaN()
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile: the upper
+// bound of the bucket in which the cumulative count crosses q·Count.
+// Within a bucket the true value is at most one octave lower. Returns
+// NaN when the histogram is empty or q is outside [0, 1].
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	rank := q * float64(h.Count)
+	cum := int64(0)
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if float64(cum) >= rank {
+			// The exact Max is a tighter upper bound than the last
+			// bucket's bound (and the only finite one for overflow).
+			return math.Min(b.Le, h.Max)
+		}
+	}
+	return h.Max
+}
+
+// Snapshot is a point-in-time copy of a registry, ordered and
+// JSON-serializable. Produced by Registry.Snapshot; safe to retain and
+// marshal after the registry keeps mutating.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current state. On a nil registry it
+// returns an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	s.Counters = make(map[string]int64, len(counters))
+	for name, c := range counters {
+		s.Counters[name] = c.Value()
+	}
+	s.Gauges = make(map[string]float64, len(gauges))
+	for name, g := range gauges {
+		s.Gauges[name] = g.Value()
+	}
+	s.Histograms = make(map[string]HistogramSnapshot, len(hists))
+	for name, h := range hists {
+		s.Histograms[name] = snapshotHistogram(h)
+	}
+	return s
+}
+
+func snapshotHistogram(h *Histogram) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.Sum(),
+		Min:   math.Float64frombits(h.minBits.Load()),
+		Max:   math.Float64frombits(h.maxBits.Load()),
+	}
+	if out.Count == 0 {
+		out.Min, out.Max = math.NaN(), math.NaN()
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			out.Buckets = append(out.Buckets, Bucket{Le: BucketUpperBound(i), Count: n})
+		}
+	}
+	return out
+}
+
+// jsonSafe maps NaN/±Inf (invalid in JSON) to string-free sentinels:
+// NaN → 0 count histograms keep their NaN min/max out of the wire format
+// by omission at the call site; ±Inf bucket bounds become the largest
+// finite float. Kept tiny on purpose — the snapshot is diagnostic data.
+func jsonSafe(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if math.IsInf(v, 1) {
+		return math.MaxFloat64
+	}
+	if math.IsInf(v, -1) {
+		return -math.MaxFloat64
+	}
+	return v
+}
+
+// MarshalJSON renders the snapshot with NaN/Inf made JSON-safe.
+func (h HistogramSnapshot) MarshalJSON() ([]byte, error) {
+	type bucketJSON struct {
+		Le    float64 `json:"le"`
+		Count int64   `json:"count"`
+	}
+	buckets := make([]bucketJSON, len(h.Buckets))
+	for i, b := range h.Buckets {
+		buckets[i] = bucketJSON{Le: jsonSafe(b.Le), Count: b.Count}
+	}
+	return json.Marshal(struct {
+		Count   int64        `json:"count"`
+		Sum     float64      `json:"sum"`
+		Min     float64      `json:"min"`
+		Max     float64      `json:"max"`
+		Mean    float64      `json:"mean"`
+		P50     float64      `json:"p50"`
+		P99     float64      `json:"p99"`
+		Buckets []bucketJSON `json:"buckets,omitempty"`
+	}{
+		Count:   h.Count,
+		Sum:     jsonSafe(h.Sum),
+		Min:     jsonSafe(h.Min),
+		Max:     jsonSafe(h.Max),
+		Mean:    jsonSafe(h.Mean()),
+		P50:     jsonSafe(h.Quantile(0.5)),
+		P99:     jsonSafe(h.Quantile(0.99)),
+		Buckets: buckets,
+	})
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV writes the snapshot as long-format CSV:
+// kind,name,field,value — one row per counter/gauge value and per
+// histogram summary statistic, in sorted name order.
+func (s Snapshot) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "kind,name,field,value\n"); err != nil {
+		return err
+	}
+	row := func(kind, name, field string, value float64) error {
+		_, err := io.WriteString(w, kind+","+name+","+field+","+
+			strconv.FormatFloat(jsonSafe(value), 'g', 10, 64)+"\n")
+		return err
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		if err := row("counter", name, "value", float64(s.Counters[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if err := row("gauge", name, "value", s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fields := []struct {
+			field string
+			value float64
+		}{
+			{"count", float64(h.Count)},
+			{"sum", h.Sum},
+			{"min", h.Min},
+			{"max", h.Max},
+			{"mean", h.Mean()},
+			{"p50", h.Quantile(0.5)},
+			{"p99", h.Quantile(0.99)},
+		}
+		for _, f := range fields {
+			if err := row("histogram", name, f.field, f.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// String renders a compact single-line summary, handy for logs.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("obs.Snapshot{%d counters, %d gauges, %d histograms}",
+		len(s.Counters), len(s.Gauges), len(s.Histograms))
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"eotora/internal/core"
+	"eotora/internal/obs"
 	"eotora/internal/trace"
 )
 
@@ -22,12 +23,20 @@ type Job struct {
 	Source func() (trace.Source, error)
 	// Config bounds the job's run.
 	Config Config
+	// Obs, when non-nil, is the job's observability registry. Give each
+	// job its own registry and attach it to the job's controller inside
+	// the Controller factory (core.Controller.SetObs); the sweep carries
+	// it into the JobResult, and MergedObs folds the per-worker
+	// registries into one fleet view after the sweep.
+	Obs *obs.Registry
 }
 
-// JobResult pairs a job's name with its metrics.
+// JobResult pairs a job's name with its metrics and, when the job was
+// instrumented, its observability registry.
 type JobResult struct {
 	Name    string
 	Metrics *Metrics
+	Obs     *obs.Registry
 }
 
 // Sweep runs the jobs concurrently on up to workers goroutines (0 selects
@@ -105,5 +114,19 @@ func runJob(job Job, out *JobResult) error {
 	}
 	out.Name = job.Name
 	out.Metrics = m
+	out.Obs = job.Obs
 	return nil
+}
+
+// MergedObs merges the per-job observability registries of a sweep into
+// one new registry: counters and histograms add, gauges keep the maximum
+// (the peak across workers — e.g. the largest backlog any sweep point
+// reached). Jobs without a registry are skipped; the result is empty when
+// no job was instrumented.
+func MergedObs(results []JobResult) *obs.Registry {
+	merged := obs.New()
+	for _, r := range results {
+		merged.Merge(r.Obs)
+	}
+	return merged
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"eotora/internal/core"
+	"eotora/internal/obs"
 	"eotora/internal/trace"
 )
 
@@ -190,5 +191,54 @@ func TestReplicate(t *testing.T) {
 	boom := errors.New("nope")
 	if _, err := Replicate([]int64{1}, func(int64) (Job, error) { return Job{}, boom }); !errors.Is(err, boom) {
 		t.Errorf("builder error not propagated: %v", err)
+	}
+}
+
+func TestSweepMergedObs(t *testing.T) {
+	vs := []float64{10, 100, 200}
+	jobs := sweepJobs(t, vs)
+	for i := range jobs {
+		reg := obs.New()
+		inner := jobs[i].Controller
+		jobs[i].Obs = reg
+		jobs[i].Controller = func() (*core.Controller, error) {
+			ctrl, err := inner()
+			if err != nil {
+				return nil, err
+			}
+			ctrl.SetObs(reg)
+			return ctrl, nil
+		}
+	}
+	// Leave one job uninstrumented: MergedObs must skip it gracefully.
+	jobs[2].Obs = nil
+
+	results, err := Sweep(jobs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if results[i].Obs == nil {
+			t.Fatalf("result %d lost its registry", i)
+		}
+		if got := results[i].Obs.Counter(core.MetricSlots).Value(); got != 12 {
+			t.Errorf("job %d recorded %d slots, want 12", i, got)
+		}
+	}
+	if results[2].Obs != nil {
+		t.Error("uninstrumented job gained a registry")
+	}
+
+	merged := MergedObs(results)
+	if got := merged.Counter(core.MetricSlots).Value(); got != 24 {
+		t.Errorf("merged slots = %d, want 24 (two instrumented jobs × 12)", got)
+	}
+	snap := merged.Snapshot()
+	h, ok := snap.Histograms[core.MetricLatencySeconds]
+	if !ok || h.Count != 24 {
+		t.Errorf("merged latency histogram = %+v, want 24 observations", h)
+	}
+	if snap.Counters[core.MetricCGBASolves] == 0 {
+		t.Error("merged registry missing CGBA solve counts")
 	}
 }

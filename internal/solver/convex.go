@@ -25,11 +25,20 @@ var ErrBadInterval = errors.New("solver: invalid interval")
 // tol or after maxIter shrink steps. It returns the minimizer and the
 // function value there. A non-positive tol defaults to 1e-9·(hi−lo).
 func Minimize1D(f func(float64) float64, lo, hi, tol float64) (x, fx float64, err error) {
+	x, fx, _, err = Minimize1DSteps(f, lo, hi, tol)
+	return x, fx, err
+}
+
+// Minimize1DSteps is Minimize1D, additionally reporting the number of
+// bracket-shrink steps performed — the per-solve work metric the
+// observability layer records for P2-B (each step costs one function
+// evaluation).
+func Minimize1DSteps(f func(float64) float64, lo, hi, tol float64) (x, fx float64, steps int, err error) {
 	if hi < lo || math.IsNaN(lo) || math.IsNaN(hi) {
-		return 0, 0, ErrBadInterval
+		return 0, 0, 0, ErrBadInterval
 	}
 	if hi == lo {
-		return lo, f(lo), nil
+		return lo, f(lo), 0, nil
 	}
 	if tol <= 0 {
 		tol = 1e-9 * (hi - lo)
@@ -39,7 +48,7 @@ func Minimize1D(f func(float64) float64, lo, hi, tol float64) (x, fx float64, er
 	c := b - invPhi*(b-a)
 	d := a + invPhi*(b-a)
 	fc, fd := f(c), f(d)
-	for i := 0; i < maxIter && b-a > tol; i++ {
+	for ; steps < maxIter && b-a > tol; steps++ {
 		if fc < fd {
 			b, d, fd = d, c, fc
 			c = b - invPhi*(b-a)
@@ -60,7 +69,7 @@ func Minimize1D(f func(float64) float64, lo, hi, tol float64) (x, fx float64, er
 	if fhi := f(hi); fhi < fx {
 		x, fx = hi, fhi
 	}
-	return x, fx, nil
+	return x, fx, steps, nil
 }
 
 // MinimizeConvexGrad minimizes a differentiable convex function on
