@@ -1,8 +1,12 @@
 # eotora — build, test, and reproduction targets.
 
 GO ?= go
+# BENCHTIME bounds each benchmark in `make bench` (go test -benchtime);
+# CI shrinks it to keep the non-gating bench job fast.
+BENCHTIME ?= 1s
+REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
-.PHONY: all verify build lint vet test race cover fuzz bench bench-quick examples paper clean
+.PHONY: all verify build lint vet test race cover fuzz bench bench-json bench-quick examples paper clean
 
 all: build vet test
 
@@ -42,11 +46,19 @@ fuzz:
 	$(GO) test -fuzz=FuzzLoadPriceCSV -fuzztime=15s ./internal/trace/
 	$(GO) test -fuzz=FuzzReadJSON -fuzztime=15s ./internal/topology/
 	$(GO) test -fuzz=FuzzReadCheckpoint -fuzztime=15s ./internal/core/
+	$(GO) test -fuzz=FuzzParallelEquivalence -fuzztime=15s ./internal/core/
 	$(GO) test -fuzz=FuzzEngineEquivalence -fuzztime=15s ./internal/game/
 
-# Full benchmark sweep with allocation stats (minutes).
+# Full benchmark sweep with allocation stats (minutes). The raw benchstat
+# stream lands in bench.out and a machine-readable BENCH_<rev>.json next
+# to it (see cmd/benchjson).
 bench:
-	$(GO) test -run=^$$ -bench=. -benchmem ./internal/...
+	$(GO) test -run=^$$ -bench=. -benchmem -benchtime=$(BENCHTIME) ./internal/... | tee bench.out
+	$(GO) run ./cmd/benchjson -rev $(REV) -out BENCH_$(REV).json < bench.out
+	@echo "wrote BENCH_$(REV).json"
+
+# bench-json is the CI entry point: same as bench, named for intent.
+bench-json: bench
 
 # One-iteration pass over the benchmarks: compiles and exercises every
 # benchmark body without timing them (part of verify).

@@ -1,0 +1,166 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document, so benchmark runs can be archived per
+// revision (BENCH_<rev>.json) and diffed across PRs. The input is the
+// standard benchmark format benchstat consumes; context lines (goos,
+// goarch, cpu, pkg) are folded into the header, everything else passes
+// through untouched in each entry's Raw field.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./internal/... | benchjson -rev abc1234 -out BENCH_abc1234.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one result line.
+type Benchmark struct {
+	// Name is the full benchmark path without the -procs suffix, e.g.
+	// "BenchmarkControllerStep/devices=300".
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the run (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the reported timing.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op column.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are the -benchmem columns; absent
+	// columns stay zero with Benchmem false.
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Benchmem records whether allocation columns were present.
+	Benchmem bool `json:"benchmem"`
+	// Raw is the unmodified input line, for benchstat replay.
+	Raw string `json:"raw"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	// Rev identifies the source revision (-rev flag).
+	Rev string `json:"rev"`
+	// Go, GOOS, GOARCH, and CPU describe the machine that ran the
+	// benchmarks; the first three fall back to the converting toolchain
+	// when the input lacks context lines.
+	Go     string `json:"go"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPU    string `json:"cpu,omitempty"`
+	// Packages lists the pkg: lines seen, in order.
+	Packages []string `json:"packages,omitempty"`
+	// Benchmarks holds every parsed result line, in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rev := flag.String("rev", "unknown", "revision identifier recorded in the report")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	report, err := parse(os.Stdin, *rev)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader, rev string) (*Report, error) {
+	report := &Report{
+		Rev:    rev,
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			report.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			report.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			report.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			report.Packages = append(report.Packages, strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				report.Benchmarks = append(report.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(report.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on input")
+	}
+	return report, nil
+}
+
+// parseBenchLine decodes one "BenchmarkName-P N v ns/op [v B/op v
+// allocs/op] ..." line. Unknown unit columns are ignored rather than
+// rejected, so custom b.ReportMetric units pass through via Raw.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Procs: 1, Raw: line}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil && p > 0 {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = n
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp, sawNs = v, true
+		case "B/op":
+			b.BytesPerOp, b.Benchmem = v, true
+		case "allocs/op":
+			b.AllocsPerOp, b.Benchmem = v, true
+		}
+	}
+	return b, sawNs
+}

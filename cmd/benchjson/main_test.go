@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: eotora/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkControllerStep/devices=25-8         	    1024	   1170531 ns/op	     120 B/op	       3 allocs/op
+BenchmarkControllerStep/devices=300-8        	      24	  48012345 ns/op	     512 B/op	       9 allocs/op
+BenchmarkSolveP2B-8   	  250000	      4569 ns/op
+PASS
+ok  	eotora/internal/core	12.3s
+`
+
+func TestParse(t *testing.T) {
+	r, err := parse(strings.NewReader(sample), "abc1234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rev != "abc1234" || r.GOOS != "linux" || r.GOARCH != "amd64" {
+		t.Errorf("header = %+v", r)
+	}
+	if r.CPU == "" || len(r.Packages) != 1 {
+		t.Errorf("context lines lost: %+v", r)
+	}
+	if len(r.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(r.Benchmarks))
+	}
+	b := r.Benchmarks[1]
+	if b.Name != "BenchmarkControllerStep/devices=300" || b.Procs != 8 {
+		t.Errorf("name/procs = %q/%d", b.Name, b.Procs)
+	}
+	if b.Iterations != 24 || b.NsPerOp != 48012345 || b.AllocsPerOp != 9 || !b.Benchmem {
+		t.Errorf("columns = %+v", b)
+	}
+	if p2b := r.Benchmarks[2]; p2b.Benchmem || p2b.NsPerOp != 4569 {
+		t.Errorf("no-benchmem line = %+v", p2b)
+	}
+	if !strings.Contains(r.Benchmarks[0].Raw, "1170531 ns/op") {
+		t.Errorf("raw line lost: %q", r.Benchmarks[0].Raw)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n"), "x"); err == nil {
+		t.Error("benchmark-free input accepted")
+	}
+}
+
+func TestParseBenchLineMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX-8",                     // too few fields
+		"BenchmarkX-8 notanumber 12 ns/op", // bad iteration count
+		"BenchmarkX-8 10 12 bogounits",     // no ns/op column
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("malformed line accepted: %q", line)
+		}
+	}
+	// A name without a -procs suffix (GOMAXPROCS=1 runs) defaults to 1.
+	b, ok := parseBenchLine("BenchmarkX/mode=fast 10 12 ns/op")
+	if !ok || b.Procs != 1 || b.Name != "BenchmarkX/mode=fast" {
+		t.Errorf("suffix handling = %+v ok=%v", b, ok)
+	}
+}

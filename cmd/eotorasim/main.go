@@ -15,6 +15,7 @@ import (
 
 	"eotora/internal/core"
 	"eotora/internal/experiments"
+	"eotora/internal/par"
 	"eotora/internal/sim"
 	"eotora/internal/trace"
 )
@@ -46,13 +47,14 @@ func run(args []string) error {
 		saveTo     = fs.String("checkpoint", "", "write a checkpoint file after the run")
 		metrics    = fs.String("metrics", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address during the run, e.g. :6060")
 		obsOut     = fs.String("obs-out", "", "write the observability snapshot here after the run (.csv → CSV, else JSON)")
+		slotWork   = fs.Int("slot-workers", 0, "intra-slot solver workers (0 = all cores, 1 = serial); results are bit-identical at any setting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *configFile != "" {
-		return runFromConfig(*configFile, *csv, *saveTo, *resumeFrom, *metrics, *obsOut)
+		return runFromConfig(*configFile, *csv, *saveTo, *resumeFrom, *metrics, *obsOut, *slotWork)
 	}
 
 	sc, err := experiments.NewScenario(experiments.ScenarioOptions{
@@ -102,6 +104,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer attachPool(ctrl, *slotWork)()
 
 	if *resumeFrom != "" {
 		f, err := os.Open(*resumeFrom)
@@ -170,8 +173,21 @@ func run(args []string) error {
 	return nil
 }
 
+// attachPool gives the controller an intra-slot worker pool of the
+// requested size (0 = GOMAXPROCS, ≤1 = stay serial) and returns the
+// cleanup that releases the workers. Parallel slot solves are
+// bit-identical to serial, so the flag only changes wall-clock time.
+func attachPool(ctrl *core.Controller, workers int) func() {
+	if workers == 1 {
+		return func() {}
+	}
+	pool := par.New(workers)
+	ctrl.SetPool(pool)
+	return pool.Close
+}
+
 // runFromConfig executes a JSON run spec.
-func runFromConfig(path string, csv bool, saveTo, resumeFrom, metricsAddr, obsOut string) error {
+func runFromConfig(path string, csv bool, saveTo, resumeFrom, metricsAddr, obsOut string, slotWork int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -192,6 +208,7 @@ func runFromConfig(path string, csv bool, saveTo, resumeFrom, metricsAddr, obsOu
 	if err != nil {
 		return err
 	}
+	defer attachPool(ctrl, slotWork)()
 	if resumeFrom != "" {
 		cf, err := os.Open(resumeFrom)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"eotora/internal/par"
 	"eotora/internal/rng"
 	"eotora/internal/trace"
 )
@@ -48,23 +49,24 @@ type BDMAResult struct {
 // V·T(ᾱ) + Q·Θ(Ω̄) ≤ R·V·T(α) + Q·Θ(Ω) for any feasible α, with
 // R = 2.62·R_F/(1−8λ) and R_F = max_n F_n^U/F_n^L.
 func (s *System) BDMA(st *trace.State, v, q float64, cfg BDMAConfig, src *rng.Source) (BDMAResult, error) {
-	return s.bdmaScratch(st, v, q, cfg, src, nil, solveInstr{})
+	return s.bdmaScratch(st, v, q, cfg, src, nil, solveInstr{}, nil)
 }
 
 // bdmaScratch is BDMA with an optional reusable P2A; the controller passes
 // its per-instance scratch so steady-state slots rebuild the game arena in
-// place instead of reallocating it, plus its solve instruments.
-func (s *System) bdmaScratch(st *trace.State, v, q float64, cfg BDMAConfig, src *rng.Source, scratch *P2A, in solveInstr) (BDMAResult, error) {
+// place instead of reallocating it, plus its solve instruments and its
+// worker pool (nil = serial; results are bit-identical either way).
+func (s *System) bdmaScratch(st *trace.State, v, q float64, cfg BDMAConfig, src *rng.Source, scratch *P2A, in solveInstr, pool *par.Pool) (BDMAResult, error) {
 	if q < 0 || math.IsNaN(q) {
 		return BDMAResult{}, fmt.Errorf("core: BDMA needs Q ≥ 0, got %v", q)
 	}
 	solve := func(sel Selection) (Frequencies, error) {
-		return s.solveP2B(sel, st, v, func(int) float64 { return q }, in)
+		return s.solveP2B(sel, st, v, func(int) float64 { return q }, in, pool)
 	}
 	objective := func(sel Selection, freq Frequencies) float64 {
-		return s.P2Objective(sel, freq, st, v, q)
+		return s.p2Objective(sel, freq, st, v, q, pool)
 	}
-	best, err := s.bdmaLoop(st, cfg, src, solve, objective, scratch, in)
+	best, err := s.bdmaLoop(st, cfg, src, solve, objective, scratch, in, pool)
 	if err != nil {
 		return BDMAResult{}, err
 	}
@@ -78,7 +80,10 @@ func (s *System) bdmaScratch(st *trace.State, v, q float64, cfg BDMAConfig, src 
 // reusable P2A; round 0 rebuilds it for the slot state and later rounds
 // only reweight the N compute resources (the sole Ω-dependent part of the
 // game), skipping the structural rebuild entirely. in records the
-// alternation's round statistics (zero value records nothing).
+// alternation's round statistics (zero value records nothing); pool is
+// the intra-slot worker pool handed down to the P2-A engine (sharded
+// best-response scoring) — P2-B and the objective closures captured it
+// already.
 func (s *System) bdmaLoop(
 	st *trace.State,
 	cfg BDMAConfig,
@@ -87,6 +92,7 @@ func (s *System) bdmaLoop(
 	objective func(Selection, Frequencies) float64,
 	scratch *P2A,
 	in solveInstr,
+	pool *par.Pool,
 ) (BDMAResult, error) {
 	if err := s.CheckState(st); err != nil {
 		return BDMAResult{}, err
@@ -102,6 +108,7 @@ func (s *System) bdmaLoop(
 	if scratch == nil {
 		scratch = new(P2A)
 	}
+	scratch.SetPool(pool)
 
 	freq := s.LowestFrequencies()
 	best := BDMAResult{Objective: math.Inf(1)}
@@ -140,7 +147,7 @@ func (s *System) bdmaLoop(
 	}
 	in.bdmaRounds.Add(int64(iters))
 	in.bdmaBestRound.Observe(float64(bestRound))
-	best.Latency = s.ReducedLatency(best.Selection, best.Freq, st).Value()
+	best.Latency = s.reducedLatency(best.Selection, best.Freq, st, pool).Value()
 	return best, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"eotora/internal/lyapunov"
 	"eotora/internal/obs"
+	"eotora/internal/par"
 	"eotora/internal/rng"
 	"eotora/internal/solver"
 	"eotora/internal/stats"
@@ -70,6 +71,11 @@ type Controller struct {
 	slot  int
 	p2a   P2A // reusable P2-A instance; BDMA rebuilds it in place each slot
 
+	// pool is the intra-slot worker pool attached with SetPool (nil =
+	// serial); it parallelizes the per-slot solve without changing any
+	// decision bit.
+	pool *par.Pool
+
 	// Observability (see instr.go). obs is the registry attached with
 	// SetObs (nil = off); instr holds the pre-resolved instrument handles
 	// the per-slot path records through.
@@ -130,6 +136,23 @@ func (c *Controller) RoomBacklogs() map[int]float64 {
 // V returns the configured penalty weight.
 func (c *Controller) V() float64 { return c.cfg.V }
 
+// SetPool attaches a worker pool to the controller's per-slot solve:
+// P2-B's per-server minimizations, the P2-A engine's best-response
+// rescans, and the Lemma-1 accumulators run sharded across the pool's
+// workers. Decisions, objectives, iteration counts, and the RNG draw
+// sequence are bit-identical to the serial path for every pool size
+// (DESIGN.md §9); nil detaches the pool. The pool must not be shared by
+// controllers stepping concurrently — give each concurrent controller
+// its own (as sim.Sweep does).
+func (c *Controller) SetPool(p *par.Pool) {
+	c.pool = p
+	c.p2a.SetPool(p)
+	p.Instrument(c.obs)
+}
+
+// Pool returns the pool attached with SetPool, or nil.
+func (c *Controller) Pool() *par.Pool { return c.pool }
+
 // SolverName identifies the P2-A solver driving this controller
 // ("CGBA" for the paper's algorithm, "MCBA"/"ROPT" for baselines).
 func (c *Controller) SolverName() string {
@@ -164,9 +187,9 @@ func (c *Controller) StepWithObservation(observed, realized *trace.State) (*Slot
 		err error
 	)
 	if c.rooms != nil {
-		res, err = c.sys.bdmaRoomsScratch(observed, c.dpp.V, c.rooms.Backlogs(), c.cfg.BDMA, src, &c.p2a, c.instr.solve)
+		res, err = c.sys.bdmaRoomsScratch(observed, c.dpp.V, c.rooms.Backlogs(), c.cfg.BDMA, src, &c.p2a, c.instr.solve, c.pool)
 	} else {
-		res, err = c.sys.bdmaScratch(observed, c.dpp.V, c.dpp.Queue.Backlog(), c.cfg.BDMA, src, &c.p2a, c.instr.solve)
+		res, err = c.sys.bdmaScratch(observed, c.dpp.V, c.dpp.Queue.Backlog(), c.cfg.BDMA, src, &c.p2a, c.instr.solve, c.pool)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: slot %d: %w", c.slot, err)
@@ -189,7 +212,7 @@ func (c *Controller) StepWithObservation(observed, realized *trace.State) (*Slot
 
 	// Materialize the allocation from the observed state (shares are part
 	// of the decision) and experience it under the realized state.
-	alloc := c.sys.OptimalAllocation(res.Selection, observed)
+	alloc := c.sys.optimalAllocation(res.Selection, observed, c.pool)
 	decision := Decision{Selection: res.Selection, Allocation: alloc, Freq: res.Freq}
 	total, perDevice := c.sys.LatencyOf(decision, realized)
 

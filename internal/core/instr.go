@@ -85,6 +85,9 @@ func (c *Controller) SetObs(reg *obs.Registry) {
 		CacheMisses:    reg.Counter(MetricCacheMisses),
 		Moves:          reg.Counter(MetricEngineMoves),
 	})
+	// The attached pool (if any) records its region/shard-utilization
+	// series (par.Metric*) into the same registry.
+	c.pool.Instrument(reg)
 }
 
 // Obs returns the registry attached with SetObs, or nil.

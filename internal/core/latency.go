@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"eotora/internal/par"
 	"eotora/internal/trace"
 	"eotora/internal/units"
 )
@@ -16,6 +17,12 @@ import (
 // resource sum to exactly 1, which saturates constraints (4)–(6) as the
 // KKT conditions require.
 func (s *System) OptimalAllocation(sel Selection, st *trace.State) Allocation {
+	return s.optimalAllocation(sel, st, nil)
+}
+
+// optimalAllocation is OptimalAllocation with an optional pool sharding
+// the Lemma-1 denominator accumulation (bit-identical; see lemma1Task).
+func (s *System) optimalAllocation(sel Selection, st *trace.State, pool *par.Pool) Allocation {
 	devices := len(sel.Station)
 	a := Allocation{
 		AccessShare:    make([]float64, devices),
@@ -26,13 +33,8 @@ func (s *System) OptimalAllocation(sel Selection, st *trace.State) Allocation {
 	// Per-station and per-server denominators: Σ_j √(d_j/h_j), Σ_j √(f_j/σ_j).
 	sums := borrowSums(len(s.Net.BaseStations), len(s.Net.Servers))
 	defer sums.release()
+	sums.accumulate(s, sel, st, pool)
 	accessDen, fronthaulDen, computeDen := sums.access, sums.fronthaul, sums.compute
-	for i := 0; i < devices; i++ {
-		k, n := sel.Station[i], sel.Server[i]
-		accessDen[k] += math.Sqrt(st.DataLengths[i].Bits() / st.Channels[i][k].BpsPerHz())
-		fronthaulDen[k] += math.Sqrt(st.DataLengths[i].Bits() / st.FronthaulSE[k].BpsPerHz())
-		computeDen[n] += math.Sqrt(st.TaskSizes[i].Count() / s.Net.Suitability[i][n])
-	}
 	for i := 0; i < devices; i++ {
 		k, n := sel.Station[i], sel.Server[i]
 		if accessDen[k] > 0 {
@@ -100,15 +102,17 @@ func (s *System) LatencyOf(d Decision, st *trace.State) (total units.Seconds, pe
 //
 // where ω_n is the server's aggregate capacity at its per-core frequency.
 func (s *System) ReducedLatency(sel Selection, freq Frequencies, st *trace.State) units.Seconds {
+	return s.reducedLatency(sel, freq, st, nil)
+}
+
+// reducedLatency is ReducedLatency with an optional pool sharding the
+// Lemma-1 accumulation; the Σ sum²/bandwidth reduction stays serial in
+// resource order, so the total is bit-identical for every pool size.
+func (s *System) reducedLatency(sel Selection, freq Frequencies, st *trace.State, pool *par.Pool) units.Seconds {
 	sums := borrowSums(len(s.Net.BaseStations), len(s.Net.Servers))
 	defer sums.release()
+	sums.accumulate(s, sel, st, pool)
 	accessSum, fronthaulSum, computeSum := sums.access, sums.fronthaul, sums.compute
-	for i := range sel.Station {
-		k, n := sel.Station[i], sel.Server[i]
-		accessSum[k] += math.Sqrt(st.DataLengths[i].Bits() / st.Channels[i][k].BpsPerHz())
-		fronthaulSum[k] += math.Sqrt(st.DataLengths[i].Bits() / st.FronthaulSE[k].BpsPerHz())
-		computeSum[n] += math.Sqrt(st.TaskSizes[i].Count() / s.Net.Suitability[i][n])
-	}
 	total := 0.0
 	for k, bs := range s.Net.BaseStations {
 		total += accessSum[k] * accessSum[k] / bs.AccessBandwidth.Hertz()

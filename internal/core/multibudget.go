@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"eotora/internal/par"
 	"eotora/internal/rng"
 	"eotora/internal/trace"
 	"eotora/internal/units"
@@ -71,28 +72,34 @@ func (s *System) RoomThetas(freq Frequencies, price units.Price) map[int]float64
 // energy term is weighted by qByRoom of its hosting room.
 func (s *System) SolveP2BPerRoom(sel Selection, st *trace.State, v float64, qByRoom map[int]float64) (Frequencies, error) {
 	qOf := func(n int) float64 { return qByRoom[s.Net.Servers[n].Room] }
-	return s.solveP2B(sel, st, v, qOf, solveInstr{})
+	return s.solveP2B(sel, st, v, qOf, solveInstr{}, nil)
 }
 
 // P2ObjectiveRooms evaluates V·T_t + Σ_m Q_m·Θ_m for a candidate decision.
 func (s *System) P2ObjectiveRooms(sel Selection, freq Frequencies, st *trace.State, v float64, qByRoom map[int]float64) float64 {
+	return s.p2ObjectiveRooms(sel, freq, st, v, qByRoom, nil)
+}
+
+// p2ObjectiveRooms is P2ObjectiveRooms with an optional worker pool for
+// the Lemma-1 accumulation inside the reduced latency.
+func (s *System) p2ObjectiveRooms(sel Selection, freq Frequencies, st *trace.State, v float64, qByRoom map[int]float64, pool *par.Pool) float64 {
 	penalty := 0.0
 	for room, theta := range s.RoomThetas(freq, st.Price) {
 		penalty += qByRoom[room] * theta
 	}
-	return v*s.ReducedLatency(sel, freq, st).Value() + penalty
+	return v*s.reducedLatency(sel, freq, st, pool).Value() + penalty
 }
 
 // BDMARooms runs Algorithm 2 under per-room budgets: the alternation is
 // identical, but P2-B weighs each server's energy by its room's queue and
 // the objective sums the per-room drift terms.
 func (s *System) BDMARooms(st *trace.State, v float64, qByRoom map[int]float64, cfg BDMAConfig, src *rng.Source) (BDMAResult, error) {
-	return s.bdmaRoomsScratch(st, v, qByRoom, cfg, src, nil, solveInstr{})
+	return s.bdmaRoomsScratch(st, v, qByRoom, cfg, src, nil, solveInstr{}, nil)
 }
 
-// bdmaRoomsScratch is BDMARooms with an optional reusable P2A and solve
-// instruments (see bdmaScratch).
-func (s *System) bdmaRoomsScratch(st *trace.State, v float64, qByRoom map[int]float64, cfg BDMAConfig, src *rng.Source, scratch *P2A, in solveInstr) (BDMAResult, error) {
+// bdmaRoomsScratch is BDMARooms with an optional reusable P2A, solve
+// instruments, and worker pool (see bdmaScratch).
+func (s *System) bdmaRoomsScratch(st *trace.State, v float64, qByRoom map[int]float64, cfg BDMAConfig, src *rng.Source, scratch *P2A, in solveInstr, pool *par.Pool) (BDMAResult, error) {
 	if err := s.ValidateRoomBudgets(); err != nil {
 		return BDMAResult{}, err
 	}
@@ -106,12 +113,12 @@ func (s *System) bdmaRoomsScratch(st *trace.State, v float64, qByRoom map[int]fl
 	}
 	solve := func(sel Selection) (Frequencies, error) {
 		qOf := func(n int) float64 { return qByRoom[s.Net.Servers[n].Room] }
-		return s.solveP2B(sel, st, v, qOf, in)
+		return s.solveP2B(sel, st, v, qOf, in, pool)
 	}
 	objective := func(sel Selection, freq Frequencies) float64 {
-		return s.P2ObjectiveRooms(sel, freq, st, v, qByRoom)
+		return s.p2ObjectiveRooms(sel, freq, st, v, qByRoom, pool)
 	}
-	res, err := s.bdmaLoop(st, cfg, src, solve, objective, scratch, in)
+	res, err := s.bdmaLoop(st, cfg, src, solve, objective, scratch, in, pool)
 	if err != nil {
 		return BDMAResult{}, err
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"eotora/internal/game"
+	"eotora/internal/par"
 	"eotora/internal/rng"
 	"eotora/internal/solver"
 	"eotora/internal/topology"
@@ -41,8 +42,10 @@ type P2A struct {
 	servers   int
 
 	// instr holds the engine's observability hooks, applied when the lazy
-	// engine is created (and immediately if it already exists).
+	// engine is created (and immediately if it already exists); pool is
+	// the intra-slot worker pool forwarded to the engine the same way.
 	instr game.Instruments
+	pool  *par.Pool
 }
 
 // resource indexing inside the game:
@@ -201,6 +204,7 @@ func (p *P2A) Engine() *game.Engine {
 	if p.engine == nil {
 		p.engine = game.NewEngine(p.game)
 		p.engine.SetInstruments(p.instr)
+		p.engine.SetPool(p.pool)
 	}
 	return p.engine
 }
@@ -211,6 +215,17 @@ func (p *P2A) SetInstruments(in game.Instruments) {
 	p.instr = in
 	if p.engine != nil {
 		p.engine.SetInstruments(in)
+	}
+}
+
+// SetPool attaches a worker pool to the P2A's solve engine for sharded
+// best-response scoring (now if the engine exists, otherwise when it is
+// lazily created). Nil detaches it. Solver results are bit-identical
+// with or without a pool.
+func (p *P2A) SetPool(pool *par.Pool) {
+	p.pool = pool
+	if p.engine != nil {
+		p.engine.SetPool(pool)
 	}
 }
 

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
+	"eotora/internal/par"
 	"eotora/internal/solver"
 	"eotora/internal/trace"
 	"eotora/internal/units"
@@ -27,14 +29,19 @@ func (s *System) SolveP2B(sel Selection, st *trace.State, v, q float64) (Frequen
 	if q < 0 || math.IsNaN(q) {
 		return nil, fmt.Errorf("core: P2-B needs Q ≥ 0, got %v", q)
 	}
-	return s.solveP2B(sel, st, v, func(int) float64 { return q }, solveInstr{})
+	return s.solveP2B(sel, st, v, func(int) float64 { return q }, solveInstr{}, nil)
 }
 
 // solveP2B is the shared per-server convex solve; qOf supplies the queue
 // weight applied to each server's energy term (constant for the paper's
 // global budget, per-room for the multi-budget extension). in records
-// per-server solver work (the zero value records nothing).
-func (s *System) solveP2B(sel Selection, st *trace.State, v float64, qOf func(server int) float64, in solveInstr) (Frequencies, error) {
+// per-server solver work (the zero value records nothing). pool, when
+// non-trivial, fans the independent per-server 1-D minimizations across
+// workers: the separability the paper exploits analytically is exactly
+// shard independence, each server's result lands in its preallocated
+// freq slot, and golden-section search draws no randomness, so the
+// returned frequencies are bit-identical to the serial loop.
+func (s *System) solveP2B(sel Selection, st *trace.State, v float64, qOf func(server int) float64, in solveInstr, pool *par.Pool) (Frequencies, error) {
 	if !(v > 0) {
 		return nil, fmt.Errorf("core: P2-B needs V > 0, got %v", v)
 	}
@@ -43,46 +50,136 @@ func (s *System) solveP2B(sel Selection, st *trace.State, v float64, qOf func(se
 	// A_n = (Σ_{i→n} √(f_i/σ_{i,n}))².
 	sums := borrowSums(0, servers)
 	defer sums.release()
+	sums.accumulateCompute(s, sel, st, pool)
 	computeSum := sums.compute
-	for i := range sel.Server {
-		n := sel.Server[i]
-		computeSum[n] += math.Sqrt(st.TaskSizes[i].Count() / s.Net.Suitability[i][n])
-	}
 
 	freq := make(Frequencies, servers)
-	for n := 0; n < servers; n++ {
-		srv := &s.Net.Servers[n]
-		a := computeSum[n] * computeSum[n]
-		cores := float64(srv.Cores)
-		model := s.Energy[n]
-		q := qOf(n)
-		obj := func(w float64) float64 {
-			latency := 0.0
-			if a > 0 {
-				latency = a / (cores * w)
+	if pool.Size() > 1 && servers > 1 {
+		t := p2bTaskPool.Get().(*p2bTask)
+		shards := pool.Size()
+		if shards > servers {
+			shards = servers
+		}
+		t.sys, t.st, t.v, t.qOf, t.in = s, st, v, qOf, in
+		t.sums, t.freq, t.shards = computeSum, freq, shards
+		if cap(t.errs) < shards {
+			t.errs = make([]error, shards)
+		} else {
+			t.errs = t.errs[:shards]
+			for i := range t.errs {
+				t.errs[i] = nil
 			}
-			e := units.Over(units.Power(model.Power(units.Frequency(w)).Watts()*cores), units.Seconds(s.SlotSeconds))
-			return v*latency + q*float64(st.Price.Cost(e))
 		}
-		// With no load and Q = 0 the objective is flat; golden section
-		// still returns a boundary point, conventionally F^L.
-		if a == 0 && q == 0 {
-			freq[n] = srv.MinFreq
-			continue
+		pool.Run(shards, t)
+		var err error
+		// Shards own ascending server spans and each stops at its own
+		// first failure, so the first errored shard holds the error of
+		// the lowest failing server — the one the serial loop returns.
+		for _, e := range t.errs {
+			if e != nil {
+				err = e
+				break
+			}
 		}
-		w, _, steps, err := solver.Minimize1DSteps(obj, srv.MinFreq.Hertz(), srv.MaxFreq.Hertz(), 1e3)
+		t.release()
 		if err != nil {
-			return nil, fmt.Errorf("core: P2-B server %d: %w", n, err)
+			return nil, err
 		}
-		in.p2bSolves.Inc()
-		in.p2bIters.Observe(float64(steps))
-		freq[n] = units.Frequency(w)
+		return freq, nil
+	}
+	for n := 0; n < servers; n++ {
+		w, steps, solved, err := s.solveP2BServer(n, computeSum[n], st, v, qOf(n))
+		if err != nil {
+			return nil, err
+		}
+		if solved {
+			in.p2bSolves.Inc()
+			in.p2bIters.Observe(float64(steps))
+		}
+		freq[n] = w
 	}
 	return freq, nil
+}
+
+// solveP2BServer runs one server's golden-section minimization — the
+// single source of truth shared by the serial loop and the parallel
+// shards. solved is false for the flat-objective shortcut (no load and
+// Q = 0), which performs no search and records no solver work.
+func (s *System) solveP2BServer(n int, sum float64, st *trace.State, v, q float64) (w units.Frequency, steps int, solved bool, err error) {
+	srv := &s.Net.Servers[n]
+	a := sum * sum
+	cores := float64(srv.Cores)
+	model := s.Energy[n]
+	obj := func(w float64) float64 {
+		latency := 0.0
+		if a > 0 {
+			latency = a / (cores * w)
+		}
+		e := units.Over(units.Power(model.Power(units.Frequency(w)).Watts()*cores), units.Seconds(s.SlotSeconds))
+		return v*latency + q*float64(st.Price.Cost(e))
+	}
+	// With no load and Q = 0 the objective is flat; golden section
+	// still returns a boundary point, conventionally F^L.
+	if a == 0 && q == 0 {
+		return srv.MinFreq, 0, false, nil
+	}
+	x, _, steps, err := solver.Minimize1DSteps(obj, srv.MinFreq.Hertz(), srv.MaxFreq.Hertz(), 1e3)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("core: P2-B server %d: %w", n, err)
+	}
+	return units.Frequency(x), steps, true, nil
+}
+
+// p2bTask fans solveP2BServer across server shards. Each shard writes
+// its servers' preallocated freq slots and stops at its first error;
+// solver-work instruments are recorded directly from the shards (obs
+// atomics commute, so totals match serial on success paths). Tasks are
+// pooled so steady-state parallel slots stay allocation-free.
+type p2bTask struct {
+	sys    *System
+	st     *trace.State
+	v      float64
+	qOf    func(server int) float64
+	in     solveInstr
+	sums   []float64
+	freq   Frequencies
+	shards int
+	errs   []error
+}
+
+var p2bTaskPool = sync.Pool{New: func() any { return new(p2bTask) }}
+
+func (t *p2bTask) Run(shard int) {
+	lo, hi := par.Span(len(t.freq), t.shards, shard)
+	for n := lo; n < hi; n++ {
+		w, steps, solved, err := t.sys.solveP2BServer(n, t.sums[n], t.st, t.v, t.qOf(n))
+		if err != nil {
+			t.errs[shard] = err
+			return
+		}
+		if solved {
+			t.in.p2bSolves.Inc()
+			t.in.p2bIters.Observe(float64(steps))
+		}
+		t.freq[n] = w
+	}
+}
+
+// release drops all references and returns the task to the pool.
+func (t *p2bTask) release() {
+	t.sys, t.st, t.qOf, t.in = nil, nil, nil, solveInstr{}
+	t.sums, t.freq = nil, nil
+	p2bTaskPool.Put(t)
 }
 
 // P2Objective evaluates the P2 objective f(x, y, Ω) = V·T_t + Q·Θ for a
 // candidate decision.
 func (s *System) P2Objective(sel Selection, freq Frequencies, st *trace.State, v, q float64) float64 {
-	return v*s.ReducedLatency(sel, freq, st).Value() + q*s.Theta(freq, st.Price)
+	return s.p2Objective(sel, freq, st, v, q, nil)
+}
+
+// p2Objective is P2Objective with an optional pool for the Lemma-1
+// accumulation inside the reduced latency.
+func (s *System) p2Objective(sel Selection, freq Frequencies, st *trace.State, v, q float64, pool *par.Pool) float64 {
+	return v*s.reducedLatency(sel, freq, st, pool).Value() + q*s.Theta(freq, st.Price)
 }

@@ -21,11 +21,14 @@ import (
 	"fmt"
 	"math"
 
+	"eotora/internal/par"
 	"eotora/internal/rng"
 )
 
 // Engine is reusable mutable solve state bound to one Game. It is not safe
-// for concurrent use; create one Engine per goroutine.
+// for concurrent use; create one Engine per goroutine. (An attached
+// par.Pool does not change that contract: the engine drives the pool's
+// workers from inside a single Engine call, never the other way around.)
 type Engine struct {
 	g       *Game
 	profile Profile
@@ -51,6 +54,13 @@ type Engine struct {
 	// handles; tally is the engine-local count state flushed per solve.
 	instr Instruments
 	tally engineTallies
+
+	// Parallel refresh (see engine_par.go): pool shards the per-iteration
+	// best-response rescan; refreshT is the persistent region task and
+	// shardTallies the per-shard hit/miss counts merged in shard order.
+	pool         *par.Pool
+	refreshT     refreshTask
+	shardTallies []engineTallies
 }
 
 // NewEngine returns an Engine bound to g with all caches invalid.
@@ -252,6 +262,15 @@ const relEps = 1e-12
 // tolerance, returning its best response when so.
 func (e *Engine) dissatisfied(i int, lambda float64) (strategy int, improve float64, ok bool) {
 	e.refresh(i)
+	return e.dissatisfiedCached(i, lambda)
+}
+
+// dissatisfiedCached is dissatisfied for a player whose cache is known
+// fresh: no refresh, no tally. The parallel scan uses it as phase 2,
+// after refreshAllParallel has refreshed (and tallied) every player —
+// calling dissatisfied there would tally a spurious extra cache hit per
+// player per iteration relative to serial.
+func (e *Engine) dissatisfiedCached(i int, lambda float64) (strategy int, improve float64, ok bool) {
 	cur, c := e.curCost[i], e.brCost[i]
 	// Algorithm 3 line 2: (1−λ)·T_i > min T_i.
 	if (1-lambda)*cur <= c+relEps*(cur+1) {
@@ -291,10 +310,22 @@ func (e *Engine) CGBA(cfg CGBAConfig, src *rng.Source) (Result, error) {
 		objTrace = append(objTrace, g.SocialCost(e.profile))
 	}
 
+	// The full-scan pivots (max-improvement, random) refresh every
+	// player each iteration; with a pool attached and enough players the
+	// refreshes run in parallel shards, then the pivot scan reads the
+	// caches serially in index order (see engine_par.go). Round-robin
+	// stops its scan at the first dissatisfied player, so a full parallel
+	// refresh would do work — and tally cache traffic — serial wouldn't;
+	// it stays serial.
+	usePar := cfg.Pivot != PivotRoundRobin && e.pool.Size() > 1 && n >= parRefreshMinPlayers
+
 	iterations := 0
 	rrCursor := 0
 	for ; iterations < maxIter; iterations++ {
 		mover, strategy := -1, -1
+		if usePar {
+			e.refreshAllParallel()
+		}
 		switch cfg.Pivot {
 		case PivotRoundRobin:
 			for scanned := 0; scanned < n; scanned++ {
@@ -309,7 +340,14 @@ func (e *Engine) CGBA(cfg CGBAConfig, src *rng.Source) (Result, error) {
 			e.candidates = e.candidates[:0]
 			e.candStrats = e.candStrats[:0]
 			for i := 0; i < n; i++ {
-				if s, _, ok := e.dissatisfied(i, cfg.Lambda); ok {
+				var s int
+				var ok bool
+				if usePar {
+					s, _, ok = e.dissatisfiedCached(i, cfg.Lambda)
+				} else {
+					s, _, ok = e.dissatisfied(i, cfg.Lambda)
+				}
+				if ok {
 					e.candidates = append(e.candidates, i)
 					e.candStrats = append(e.candStrats, s)
 				}
@@ -321,7 +359,15 @@ func (e *Engine) CGBA(cfg CGBAConfig, src *rng.Source) (Result, error) {
 		default: // PivotMaxImprovement — Algorithm 3 line 3
 			bestImprove := 0.0
 			for i := 0; i < n; i++ {
-				if s, improve, ok := e.dissatisfied(i, cfg.Lambda); ok && improve > bestImprove {
+				var s int
+				var improve float64
+				var ok bool
+				if usePar {
+					s, improve, ok = e.dissatisfiedCached(i, cfg.Lambda)
+				} else {
+					s, improve, ok = e.dissatisfied(i, cfg.Lambda)
+				}
+				if ok && improve > bestImprove {
 					bestImprove = improve
 					mover, strategy = i, s
 				}

@@ -1,0 +1,135 @@
+// Sharded best-response scoring: the parallel half of the Engine.
+//
+// CGBA's full-scan pivots (max-improvement, random) refresh every
+// player's cached cost and best response each iteration before a serial
+// argmin/collection pass. The refreshes are independent — player i's
+// recomputation reads the game arena and the shared loads and writes
+// only player i's cache slots — so they shard across a par.Pool:
+//
+//	phase 1 (parallel): each shard refreshes its Span of players via
+//	  refreshShared, a read-only-on-shared-state twin of refresh, and
+//	  tallies hits/misses into its own shardTallies slot;
+//	phase 2 (serial):   the pivot scan walks players 0..n−1 in index
+//	  order reading the now-fresh caches (dissatisfiedCached), exactly
+//	  the comparisons the serial scan performs.
+//
+// Equivalence is bit-exact: refreshShared evaluates the same floating-
+// point expressions in the same order as refresh (see its comment), the
+// phase-2 reduction order equals the serial scan order, no RNG is drawn
+// in phase 1, and the per-shard tallies merge in shard order so even the
+// observability counters match serial runs. The pool-matrix tests in
+// engine_par_test.go enforce all of this.
+package game
+
+import (
+	"math"
+
+	"eotora/internal/par"
+)
+
+// parRefreshMinPlayers gates the parallel refresh: below this many
+// players a region's wake/join overhead outweighs the scan. Correctness
+// never depends on the gate — it is a pure perf threshold.
+const parRefreshMinPlayers = 32
+
+// SetPool attaches a worker pool for sharded best-response scoring
+// (nil detaches it — the default, fully serial). The pool only changes
+// where refreshes execute, never their results: solves are bit-identical
+// for every pool size. The engine must not share a pool region with
+// another engine concurrently (one Run at a time per pool).
+func (e *Engine) SetPool(p *par.Pool) { e.pool = p }
+
+// refreshTask is the persistent region task (a pointer to it converts to
+// par.Task without allocating).
+type refreshTask struct {
+	e      *Engine
+	shards int
+}
+
+func (t *refreshTask) Run(shard int) {
+	e := t.e
+	lo, hi := par.Span(e.g.Players(), t.shards, shard)
+	tl := &e.shardTallies[shard]
+	for i := lo; i < hi; i++ {
+		if !e.dirty[i] {
+			tl.hits++
+			continue
+		}
+		tl.misses++
+		e.refreshShared(i)
+	}
+}
+
+// refreshAllParallel brings every player's cache up to date using the
+// attached pool, with hit/miss tallies identical to n serial refresh
+// calls.
+func (e *Engine) refreshAllParallel() {
+	n := e.g.Players()
+	shards := e.pool.Size()
+	if shards > n {
+		shards = n
+	}
+	if cap(e.shardTallies) < shards {
+		e.shardTallies = make([]engineTallies, shards)
+	} else {
+		e.shardTallies = e.shardTallies[:shards]
+		for s := range e.shardTallies {
+			e.shardTallies[s] = engineTallies{}
+		}
+	}
+	e.refreshT.e = e
+	e.refreshT.shards = shards
+	e.pool.Run(shards, &e.refreshT)
+	for s := range e.shardTallies {
+		e.tally.hits += e.shardTallies[s].hits
+		e.tally.misses += e.shardTallies[s].misses
+	}
+}
+
+// refreshShared is refresh for concurrent shards: same recomputation,
+// but player i's current-strategy contribution is subtracted per
+// candidate use instead of being removed from the shared loads in place
+// (refresh's approach — a write other shards would observe). Both paths
+// evaluate each candidate term as m_r·p_{i,r}·((loads[r]−w_cur)+w) with
+// the same operations in the same order, so the cached bits are
+// identical; the pool-matrix tests enforce this. Writes touch only
+// player i's cache slots (curCost, brCost, brStrat, dirty), which are
+// disjoint across shards.
+func (e *Engine) refreshShared(i int) {
+	g := e.g
+	first, last := g.playerStrategies(i)
+	cs := first + int32(e.profile[i])
+	cur := g.uses[g.useOff[cs]:g.useOff[cs+1]]
+
+	cost := 0.0
+	for ci := range cur {
+		cost += cur[ci].wm * e.loads[cur[ci].res]
+	}
+	e.curCost[i] = cost
+
+	base := g.useOff[first]
+	uses := g.uses[base:g.useOff[last]]
+	offs := g.useOff[first : last+1]
+	best, bestCost := -1, math.Inf(1)
+	k := 0
+	for s := 0; s < len(offs)-1; s++ {
+		end := int(offs[s+1] - base)
+		c := 0.0
+		for ; k < end; k++ {
+			u := &uses[k]
+			l := e.loads[u.res]
+			for ci := range cur {
+				if cur[ci].res == u.res {
+					l -= cur[ci].w
+					break
+				}
+			}
+			c += u.wm * (l + u.w)
+		}
+		if c < bestCost {
+			best, bestCost = s, c
+		}
+	}
+	e.brStrat[i], e.brCost[i] = int32(best), bestCost
+	e.dirty[i] = false
+}

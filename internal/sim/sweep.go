@@ -8,6 +8,7 @@ import (
 
 	"eotora/internal/core"
 	"eotora/internal/obs"
+	"eotora/internal/par"
 	"eotora/internal/trace"
 )
 
@@ -45,7 +46,10 @@ type JobResult struct {
 //
 // The simulator itself is single-threaded per run — the determinism
 // guarantees hold per job — but independent sweep points (the V values of
-// Figure 8, the budgets of Figure 9) parallelize perfectly.
+// Figure 8, the budgets of Figure 9) parallelize perfectly. Leftover
+// cores (GOMAXPROCS beyond the worker count) are handed to each worker as
+// an intra-slot pool (core.Controller.SetPool), so a 2-point sweep on an
+// 8-core box still uses all 8 cores without oversubscribing.
 func Sweep(jobs []Job, workers int) ([]JobResult, error) {
 	if len(jobs) == 0 {
 		return nil, errors.New("sim: empty sweep")
@@ -61,13 +65,24 @@ func Sweep(jobs []Job, workers int) ([]JobResult, error) {
 	jobCh := make(chan int)
 	errCh := make(chan error, len(jobs))
 
+	// Split the machine between sweep-level and slot-level parallelism:
+	// workers × slotWorkers never exceeds GOMAXPROCS. The per-worker pools
+	// don't change any job's decisions — pooled slot solves are
+	// bit-identical to serial (core.Controller.SetPool).
+	slotWorkers := runtime.GOMAXPROCS(0) / workers
+
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			var pool *par.Pool
+			if slotWorkers > 1 {
+				pool = par.New(slotWorkers)
+				defer pool.Close()
+			}
 			for idx := range jobCh {
-				if err := runJob(jobs[idx], &results[idx]); err != nil {
+				if err := runJob(jobs[idx], &results[idx], pool); err != nil {
 					errCh <- fmt.Errorf("sim: job %q: %w", jobs[idx].Name, err)
 					return
 				}
@@ -96,13 +111,16 @@ feed:
 	return results, nil
 }
 
-func runJob(job Job, out *JobResult) error {
+func runJob(job Job, out *JobResult, pool *par.Pool) error {
 	if job.Controller == nil || job.Source == nil {
 		return errors.New("nil factory")
 	}
 	ctrl, err := job.Controller()
 	if err != nil {
 		return err
+	}
+	if pool != nil {
+		ctrl.SetPool(pool)
 	}
 	src, err := job.Source()
 	if err != nil {

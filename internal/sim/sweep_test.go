@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"eotora/internal/core"
@@ -80,6 +81,93 @@ func TestSweepPropagatesErrors(t *testing.T) {
 	_, err := Sweep(jobs, 2)
 	if err == nil || !errors.Is(err, boom) {
 		t.Errorf("err = %v, want wrapped boom", err)
+	}
+}
+
+// TestSweepFirstErrorCancelsRemaining pins the cancellation contract with
+// a single worker, where scheduling is fully deterministic: job 0
+// completes, job 1 fails, and job 2 — still unfed when the only worker
+// died — is never started. The completed job's registry survives and
+// still merges.
+func TestSweepFirstErrorCancelsRemaining(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := sweepJobs(t, []float64{10, 50, 100})
+
+	reg0 := obs.New()
+	inner := jobs[0].Controller
+	jobs[0].Obs = reg0
+	jobs[0].Controller = func() (*core.Controller, error) {
+		ctrl, err := inner()
+		if err != nil {
+			return nil, err
+		}
+		ctrl.SetObs(reg0)
+		return ctrl, nil
+	}
+	jobs[1].Controller = func() (*core.Controller, error) { return nil, boom }
+	var ranLast atomic.Bool
+	inner2 := jobs[2].Controller
+	jobs[2].Controller = func() (*core.Controller, error) {
+		ranLast.Store(true)
+		return inner2()
+	}
+
+	_, err := Sweep(jobs, 1)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if ranLast.Load() {
+		t.Error("job after the failure still ran — cancellation broken")
+	}
+	if got := reg0.Counter(core.MetricSlots).Value(); got != 12 {
+		t.Errorf("completed job recorded %d slots, want 12", got)
+	}
+	merged := obs.New()
+	merged.Merge(reg0)
+	if got := merged.Counter(core.MetricSlots).Value(); got != 12 {
+		t.Errorf("merged registry lost the completed job: %d slots", got)
+	}
+}
+
+// TestSweepInFlightJobFinishes forces the failure to land while another
+// job is mid-run: job 0 blocks inside its Source factory until job 1 has
+// failed, then must still run to completion (full slot count in its
+// registry) before Sweep returns the error.
+func TestSweepInFlightJobFinishes(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := sweepJobs(t, []float64{10, 50})
+
+	started0 := make(chan struct{})
+	release0 := make(chan struct{})
+	reg0 := obs.New()
+	innerCtrl := jobs[0].Controller
+	jobs[0].Obs = reg0
+	jobs[0].Controller = func() (*core.Controller, error) {
+		ctrl, err := innerCtrl()
+		if err != nil {
+			return nil, err
+		}
+		ctrl.SetObs(reg0)
+		return ctrl, nil
+	}
+	innerSrc := jobs[0].Source
+	jobs[0].Source = func() (trace.Source, error) {
+		close(started0)
+		<-release0
+		return innerSrc()
+	}
+	jobs[1].Controller = func() (*core.Controller, error) {
+		<-started0       // wait until job 0 is provably in flight
+		close(release0)  // let it proceed...
+		return nil, boom // ...and fail while it runs
+	}
+
+	_, err := Sweep(jobs, 2)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if got := reg0.Counter(core.MetricSlots).Value(); got != 12 {
+		t.Errorf("in-flight job recorded %d slots, want 12 — it was cut short", got)
 	}
 }
 
