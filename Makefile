@@ -6,7 +6,7 @@ GO ?= go
 BENCHTIME ?= 1s
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
-.PHONY: all verify build lint vet test race cover fuzz bench bench-json bench-quick examples paper clean
+.PHONY: all verify build lint vet test race cover fuzz soak bench bench-json bench-quick examples paper clean
 
 all: build vet test
 
@@ -18,11 +18,15 @@ verify: build lint test race bench-quick
 build:
 	$(GO) build ./...
 
-# lint gates on formatting and static analysis. staticcheck is optional
-# locally (skipped with a notice when not installed); CI installs it.
+# lint gates on formatting, static analysis, godoc coverage of the core
+# packages (cmd/doccheck), and the repository's relative markdown links
+# (cmd/linkcheck). staticcheck is optional locally (skipped with a notice
+# when not installed); CI installs it.
 lint: vet
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) run ./cmd/doccheck ./internal/core ./internal/game ./internal/obs ./internal/par ./internal/faults ./internal/trace ./internal/solver
+	$(GO) run ./cmd/linkcheck .
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
@@ -48,6 +52,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadCheckpoint -fuzztime=15s ./internal/core/
 	$(GO) test -fuzz=FuzzParallelEquivalence -fuzztime=15s ./internal/core/
 	$(GO) test -fuzz=FuzzEngineEquivalence -fuzztime=15s ./internal/game/
+	$(GO) test -fuzz=FuzzSanitizeState -fuzztime=15s ./internal/trace/
+
+# Long fault-injection soak: 10k slots of corrupted traces, outages, and
+# stalls under the race detector (the nightly configuration; see
+# internal/sim/soak_test.go).
+soak:
+	FAULT_SOAK_SLOTS=10000 $(GO) test -race -run TestFaultSoak -count=1 -v ./internal/sim/
 
 # Full benchmark sweep with allocation stats (minutes). The raw benchstat
 # stream lands in bench.out and a machine-readable BENCH_<rev>.json next

@@ -1,0 +1,175 @@
+// Command doccheck enforces godoc coverage: every exported identifier in
+// the packages given on the command line — functions, methods on exported
+// types, types, grouped consts/vars, struct fields, and interface
+// methods — must carry a doc comment. It is part of `make lint`, so an
+// undocumented new exported identifier fails CI.
+//
+// Usage:
+//
+//	doccheck ./internal/core ./internal/game
+//
+// Grouped const/var declarations are satisfied by a doc comment on the
+// group; struct fields and interface methods accept either a doc comment
+// above or a trailing line comment. Test files are skipped.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir> [<package-dir>...]")
+		os.Exit(2)
+	}
+	var missing []string
+	for _, dir := range os.Args[1:] {
+		m, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		missing = append(missing, m...)
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		for _, m := range missing {
+			fmt.Println(m)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifier(s) without a doc comment\n", len(missing))
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory (tests excluded) and returns a
+// "file:line: identifier" entry for every undocumented exported
+// identifier.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s is exported but undocumented",
+			filepath.ToSlash(p.Filename), p.Line, what))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					checkFunc(d, report)
+				case *ast.GenDecl:
+					checkGen(d, report)
+				}
+			}
+		}
+	}
+	return missing, nil
+}
+
+// checkFunc flags undocumented exported functions and undocumented
+// exported methods on exported receivers.
+func checkFunc(d *ast.FuncDecl, report func(token.Pos, string)) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	name := d.Name.Name
+	if d.Recv != nil && len(d.Recv.List) == 1 {
+		recv := receiverName(d.Recv.List[0].Type)
+		if recv == "" || !ast.IsExported(recv) {
+			return // method on an unexported type: not exported API
+		}
+		name = recv + "." + name
+	}
+	report(d.Name.Pos(), "func "+name)
+}
+
+// checkGen flags undocumented exported types, consts, and vars, then
+// descends into exported struct fields and interface methods. A doc
+// comment on the declaration group covers its specs.
+func checkGen(d *ast.GenDecl, report func(token.Pos, string)) {
+	groupDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			documented := groupDoc || s.Doc != nil || s.Comment != nil
+			if s.Name.IsExported() && !documented {
+				report(s.Name.Pos(), "type "+s.Name.Name)
+			}
+			if !s.Name.IsExported() {
+				continue
+			}
+			switch t := s.Type.(type) {
+			case *ast.StructType:
+				checkFields(s.Name.Name, t.Fields, "field", report)
+			case *ast.InterfaceType:
+				checkFields(s.Name.Name, t.Methods, "method", report)
+			}
+		case *ast.ValueSpec:
+			documented := groupDoc || s.Doc != nil || s.Comment != nil
+			if documented {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n.Pos(), kindWord(d.Tok)+" "+n.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkFields flags undocumented exported struct fields or interface
+// methods of an exported type. Embedded fields (no name of their own) are
+// skipped: their documentation lives on the embedded type.
+func checkFields(owner string, fields *ast.FieldList, what string, report func(token.Pos, string)) {
+	if fields == nil {
+		return
+	}
+	for _, f := range fields.List {
+		if f.Doc != nil || f.Comment != nil {
+			continue
+		}
+		for _, n := range f.Names {
+			if n.IsExported() {
+				report(n.Pos(), fmt.Sprintf("%s %s.%s", what, owner, n.Name))
+			}
+		}
+	}
+}
+
+// receiverName extracts the receiver's type name from its AST expression.
+func receiverName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverName(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return receiverName(t.X)
+	case *ast.IndexListExpr:
+		return receiverName(t.X)
+	}
+	return ""
+}
+
+// kindWord renders the declaration keyword for a report line.
+func kindWord(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

@@ -12,9 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"eotora/internal/core"
 	"eotora/internal/experiments"
+	"eotora/internal/faults"
 	"eotora/internal/par"
 	"eotora/internal/sim"
 	"eotora/internal/trace"
@@ -48,6 +50,9 @@ func run(args []string) error {
 		metrics    = fs.String("metrics", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address during the run, e.g. :6060")
 		obsOut     = fs.String("obs-out", "", "write the observability snapshot here after the run (.csv → CSV, else JSON)")
 		slotWork   = fs.Int("slot-workers", 0, "intra-slot solver workers (0 = all cores, 1 = serial); results are bit-identical at any setting")
+		slotDL     = fs.Duration("slot-deadline", 0, "per-slot wall-clock budget for the solver (0 = none); expired slots fall down the degradation ladder (see OPERATIONS.md)")
+		slotChecks = fs.Int("slot-checks", 0, "per-slot solver checkpoint budget (0 = none); deterministic alternative to -slot-deadline")
+		faultsOn   = fs.Bool("faults", false, "inject seeded faults (trace corruption, outages, capacity loss, solver stalls) with the soak profile; repairs via trace.Sanitizer stay on")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -130,7 +135,12 @@ func run(args []string) error {
 		}
 	}
 
-	res, err := sim.Run(ctrl, gen, sim.Config{Slots: *slots, Warmup: *warmup})
+	src, inj, err := applyRobustness(ctrl, gen, *slotDL, *slotChecks, *faultsOn, *seed)
+	if err != nil {
+		return err
+	}
+
+	res, err := sim.Run(ctrl, src, sim.Config{Slots: *slots, Warmup: *warmup})
 	if err != nil {
 		return err
 	}
@@ -170,7 +180,33 @@ func run(args []string) error {
 		res.BudgetSatisfied(0.02), res.AvgCost()/res.Budget)
 	fmt.Printf("avg queue backlog: %.3f\n", res.AvgBacklog())
 	fmt.Printf("avg decision time: %v per slot\n", res.AvgDecisionTime())
+	if d := res.DegradedSlots(); d > 0 {
+		fmt.Printf("degraded slots:    %d of %d (fallback ladder; see OPERATIONS.md)\n", d, *slots)
+	}
+	if inj != nil {
+		fmt.Printf("faults injected:   %d\n", inj.Injections())
+	}
 	return nil
+}
+
+// applyRobustness arms the controller's per-slot deadline (when either
+// budget is set) and, when injectFaults is on, wraps src in a seeded fault
+// injector with a repairing trace.Sanitizer on top. The returned source is
+// what the simulation should consume; the injector is returned for
+// post-run reporting (nil when fault injection is off).
+func applyRobustness(ctrl *core.Controller, src trace.Source, deadline time.Duration, checks int, injectFaults bool, seed int64) (trace.Source, *faults.Injector, error) {
+	if deadline > 0 || checks > 0 {
+		ctrl.SetSlotDeadline(deadline, checks)
+	}
+	if !injectFaults {
+		return src, nil, nil
+	}
+	inj, err := faults.NewInjector(faults.DefaultConfig(seed), len(ctrl.System().Net.Servers), src)
+	if err != nil {
+		return nil, nil, err
+	}
+	inj.Attach(ctrl)
+	return trace.NewSanitizer(inj), inj, nil
 }
 
 // attachPool gives the controller an intra-slot worker pool of the

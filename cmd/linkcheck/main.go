@@ -1,0 +1,115 @@
+// Command linkcheck verifies the relative links in the repository's
+// markdown files: every `[text](target)` or `![alt](target)` whose target
+// is not an external URL or a pure in-page anchor must resolve to an
+// existing file or directory relative to the file containing it. It is
+// part of `make lint`, so renaming a document without updating its
+// references fails CI.
+//
+// Usage:
+//
+//	linkcheck [root]
+//
+// root defaults to the current directory; .git and vendor trees are
+// skipped. External schemes (http, https, mailto) are not fetched — this
+// is an offline structural check only.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe captures the target of inline markdown links and images. It
+// deliberately stops at whitespace or a closing paren, which also strips
+// optional link titles.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^()\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var broken []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "vendor", "node_modules", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.EqualFold(filepath.Ext(path), ".md") {
+			return nil
+		}
+		b, err := checkFile(path)
+		if err != nil {
+			return err
+		}
+		broken = append(broken, b...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(2)
+	}
+	if len(broken) > 0 {
+		for _, b := range broken {
+			fmt.Println(b)
+		}
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken relative link(s)\n", len(broken))
+		os.Exit(1)
+	}
+}
+
+// checkFile scans one markdown file and returns a report line for every
+// relative link target that does not exist on disk.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var broken []string
+	dir := filepath.Dir(path)
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skippable(target) {
+				continue
+			}
+			// Drop an in-page anchor suffix; the file part must exist.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(dir, filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				broken = append(broken, fmt.Sprintf("%s:%d: broken link %q",
+					filepath.ToSlash(path), lineNo+1, m[1]))
+			}
+		}
+	}
+	return broken, nil
+}
+
+// skippable reports targets outside this check's scope: external schemes
+// and pure in-page anchors.
+func skippable(target string) bool {
+	if strings.HasPrefix(target, "#") {
+		return true
+	}
+	for _, scheme := range []string{"http://", "https://", "mailto:", "ftp://"} {
+		if strings.HasPrefix(target, scheme) {
+			return true
+		}
+	}
+	return false
+}

@@ -7,8 +7,15 @@ import (
 
 	"eotora/internal/par"
 	"eotora/internal/rng"
+	"eotora/internal/solver"
 	"eotora/internal/trace"
 )
+
+// ErrSlotDeadline reports that a slot deadline expired before any feasible
+// decision was produced. The controller's fallback ladder treats it as a
+// signal to descend a rung (reuse the previous decision, then the greedy
+// baseline); any other solver error still propagates as a hard failure.
+var ErrSlotDeadline = errors.New("core: slot deadline expired before a decision was found")
 
 // BDMAConfig parameterizes Algorithm 2.
 type BDMAConfig struct {
@@ -38,6 +45,11 @@ type BDMAResult struct {
 	// RoomThetas holds the per-room violations Θ_m under the per-room
 	// budget extension (nil in the paper's global-budget mode).
 	RoomThetas map[int]float64
+	// Degraded reports that the slot deadline expired during the solve:
+	// the decision is the best feasible iterate found before expiry (an
+	// anytime result) and does not carry the full z-round Theorem 3
+	// guarantee. Always false when no deadline is armed.
+	Degraded bool
 }
 
 // BDMA runs Algorithm 2, the Benders'-decomposition-motivated alternation:
@@ -49,24 +61,26 @@ type BDMAResult struct {
 // V·T(ᾱ) + Q·Θ(Ω̄) ≤ R·V·T(α) + Q·Θ(Ω) for any feasible α, with
 // R = 2.62·R_F/(1−8λ) and R_F = max_n F_n^U/F_n^L.
 func (s *System) BDMA(st *trace.State, v, q float64, cfg BDMAConfig, src *rng.Source) (BDMAResult, error) {
-	return s.bdmaScratch(st, v, q, cfg, src, nil, solveInstr{}, nil)
+	return s.bdmaScratch(st, v, q, cfg, src, nil, solveInstr{}, nil, nil)
 }
 
 // bdmaScratch is BDMA with an optional reusable P2A; the controller passes
 // its per-instance scratch so steady-state slots rebuild the game arena in
 // place instead of reallocating it, plus its solve instruments and its
-// worker pool (nil = serial; results are bit-identical either way).
-func (s *System) bdmaScratch(st *trace.State, v, q float64, cfg BDMAConfig, src *rng.Source, scratch *P2A, in solveInstr, pool *par.Pool) (BDMAResult, error) {
+// worker pool (nil = serial; results are bit-identical either way). dl is
+// the optional slot deadline threaded down to the round checkpoints, the
+// P2-A engine, and P2-B (nil never expires).
+func (s *System) bdmaScratch(st *trace.State, v, q float64, cfg BDMAConfig, src *rng.Source, scratch *P2A, in solveInstr, pool *par.Pool, dl *solver.Deadline) (BDMAResult, error) {
 	if q < 0 || math.IsNaN(q) {
 		return BDMAResult{}, fmt.Errorf("core: BDMA needs Q ≥ 0, got %v", q)
 	}
-	solve := func(sel Selection) (Frequencies, error) {
-		return s.solveP2B(sel, st, v, func(int) float64 { return q }, in, pool)
+	solve := func(sel Selection, sdl *solver.Deadline) (Frequencies, error) {
+		return s.solveP2B(sel, st, v, func(int) float64 { return q }, in, pool, sdl)
 	}
 	objective := func(sel Selection, freq Frequencies) float64 {
 		return s.p2Objective(sel, freq, st, v, q, pool)
 	}
-	best, err := s.bdmaLoop(st, cfg, src, solve, objective, scratch, in, pool)
+	best, err := s.bdmaLoop(st, cfg, src, solve, objective, scratch, in, pool, dl)
 	if err != nil {
 		return BDMAResult{}, err
 	}
@@ -84,15 +98,25 @@ func (s *System) bdmaScratch(st *trace.State, v, q float64, cfg BDMAConfig, src 
 // the intra-slot worker pool handed down to the P2-A engine (sharded
 // best-response scoring) — P2-B and the objective closures captured it
 // already.
+//
+// dl, when non-nil, is the slot deadline. Checkpoints sit at round
+// boundaries, inside the P2-A engine's iteration loop, and at P2-B entry.
+// On expiry the loop returns the best feasible decision found so far with
+// Degraded set (the anytime contract); a truncated P2-A solve is still
+// priced by a deadline-free P2-B pass — a bounded grace completion — so
+// its iterate becomes a full (x, y, Ω) decision rather than being thrown
+// away. ErrSlotDeadline is returned only when expiry precedes the first
+// complete round, i.e. there is no decision to degrade to.
 func (s *System) bdmaLoop(
 	st *trace.State,
 	cfg BDMAConfig,
 	src *rng.Source,
-	solveP2B func(Selection) (Frequencies, error),
+	solveP2B func(Selection, *solver.Deadline) (Frequencies, error),
 	objective func(Selection, Frequencies) float64,
 	scratch *P2A,
 	in solveInstr,
 	pool *par.Pool,
+	dl *solver.Deadline,
 ) (BDMAResult, error) {
 	if err := s.CheckState(st); err != nil {
 		return BDMAResult{}, err
@@ -109,11 +133,19 @@ func (s *System) bdmaLoop(
 		scratch = new(P2A)
 	}
 	scratch.SetPool(pool)
+	scratch.SetDeadline(dl)
 
 	freq := s.LowestFrequencies()
 	best := BDMAResult{Objective: math.Inf(1)}
 	bestRound := 0
+	rounds := 0
 	for iter := 0; iter < iters; iter++ {
+		// Round-boundary checkpoint: one poll per round, so counted
+		// budgets degrade identically at every pool size.
+		if iter > 0 && dl.Expired() {
+			best.Degraded = true
+			break
+		}
 		var err error
 		if iter == 0 {
 			err = s.BuildP2A(scratch, st, freq)
@@ -130,22 +162,41 @@ func (s *System) bdmaLoop(
 		best.SolverIterations += res.Iterations
 		sel := scratch.Selection(res.Profile)
 
-		freq, err = solveP2B(sel)
+		// A truncated P2-A iterate is still a feasible profile; price it
+		// with a deadline-free P2-B grace pass (bounded: N golden-section
+		// solves) so the anytime result is a complete decision.
+		sdl := dl
+		if res.Truncated {
+			best.Degraded = true
+			sdl = nil
+		}
+		freq, err = solveP2B(sel, sdl)
 		if err != nil {
+			if errors.Is(err, ErrSlotDeadline) {
+				best.Degraded = true
+				break
+			}
 			return BDMAResult{}, fmt.Errorf("core: BDMA round %d: %w", iter, err)
 		}
 
+		rounds++
 		if obj := objective(sel, freq); obj < best.Objective {
 			best.Objective = obj
 			best.Selection = sel.Clone()
 			best.Freq = freq.Clone()
 			bestRound = iter + 1
 		}
+		if res.Truncated {
+			break
+		}
 	}
 	if best.Selection.Station == nil {
+		if best.Degraded {
+			return BDMAResult{}, fmt.Errorf("core: BDMA: %w", ErrSlotDeadline)
+		}
 		return BDMAResult{}, errors.New("core: BDMA produced no decision")
 	}
-	in.bdmaRounds.Add(int64(iters))
+	in.bdmaRounds.Add(int64(rounds))
 	in.bdmaBestRound.Observe(float64(bestRound))
 	best.Latency = s.reducedLatency(best.Selection, best.Freq, st, pool).Value()
 	return best, nil

@@ -150,7 +150,7 @@ func BenchmarkSolveP2BPar(b *testing.B) {
 	qOf := func(int) float64 { return 10 }
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.solveP2B(sel, st, 100, qOf, solveInstr{}, pool); err != nil {
+		if _, err := sys.solveP2B(sel, st, 100, qOf, solveInstr{}, pool, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

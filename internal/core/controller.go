@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"eotora/internal/game"
 	"eotora/internal/lyapunov"
 	"eotora/internal/obs"
 	"eotora/internal/par"
@@ -25,7 +26,35 @@ type ControllerConfig struct {
 	BDMA BDMAConfig
 	// Seed drives the controller's internal randomness (solver starts).
 	Seed int64
+	// SlotDeadline is the wall-clock budget for each slot's solve; when it
+	// expires the controller descends the degradation ladder (anytime BDMA
+	// → previous decision → greedy) instead of running to convergence.
+	// Zero disables the timed budget.
+	SlotDeadline time.Duration
+	// SlotChecks is a deterministic alternative to SlotDeadline: the solve
+	// expires after this many deadline checkpoints (BDMA round boundaries,
+	// CGBA/MCBA iterations, P2-B entries), machine-independently and
+	// identically at every pool size. Zero disables the counted budget.
+	// Both budgets may be armed; whichever exhausts first wins.
+	SlotChecks int
 }
+
+// Fallback-ladder rungs recorded in SlotResult.Rung: each slot is decided
+// at the lowest-numbered rung that produced a feasible decision before the
+// slot deadline. See OPERATIONS.md for alerting guidance.
+const (
+	// RungFull is the normal path: BDMA ran to completion.
+	RungFull = 0
+	// RungAnytime is a truncated solve: the deadline expired mid-BDMA and
+	// the best feasible iterate found so far was kept.
+	RungAnytime = 1
+	// RungPrevious re-prices the previous slot's (x, y, Ω) under the
+	// current state (Lemma-1 allocation and objective recomputed).
+	RungPrevious = 2
+	// RungGreedy is the last resort: a deterministic one-pass greedy
+	// profile at the lowest frequencies Ω^L.
+	RungGreedy = 3
+)
 
 // SlotResult records everything Algorithm 1 did in one slot.
 type SlotResult struct {
@@ -54,6 +83,13 @@ type SlotResult struct {
 	SolverIterations int
 	// Elapsed is the wall-clock decision time for the slot.
 	Elapsed time.Duration
+	// Degraded reports that the slot deadline expired and the decision
+	// came from below the full-solve rung. Always false with no deadline
+	// configured.
+	Degraded bool
+	// Rung is the fallback-ladder rung that produced the decision (one of
+	// the Rung* constants; RungFull when the solve completed normally).
+	Rung int
 }
 
 // Controller runs Algorithm 1: at each slot it observes β_t, calls BDMA
@@ -75,6 +111,19 @@ type Controller struct {
 	// serial); it parallelizes the per-slot solve without changing any
 	// decision bit.
 	pool *par.Pool
+
+	// Slot-deadline state. dl is the controller-owned deadline re-armed
+	// each slot when a budget is configured (value, not pointer: no
+	// per-slot allocation); stall is a fault-injected artificial solver
+	// delay charged against the timed budget (SetStall). prevSel/prevFreq
+	// hold the last decision for the RungPrevious fallback, copied into
+	// reused capacity only when a deadline is configured so the default
+	// path stays allocation-free.
+	dl       solver.Deadline
+	stall    time.Duration
+	prevSel  Selection
+	prevFreq Frequencies
+	havePrev bool
 
 	// Observability (see instr.go). obs is the registry attached with
 	// SetObs (nil = off); instr holds the pre-resolved instrument handles
@@ -182,17 +231,52 @@ func (c *Controller) StepWithObservation(observed, realized *trace.State) (*Slot
 	c.slot++
 	src := rng.New(c.cfg.Seed).Derive(fmt.Sprintf("controller-slot-%d", c.slot))
 
+	// Arm the slot deadline only when a budget is configured; dl stays nil
+	// otherwise, so the undeadlined path performs only nil checks and the
+	// decisions stay bit-identical to builds without the ladder.
+	var dl *solver.Deadline
+	if c.cfg.SlotDeadline > 0 || c.cfg.SlotChecks > 0 {
+		c.dl.Start(c.cfg.SlotDeadline, c.cfg.SlotChecks)
+		c.dl.Consume(c.stall)
+		dl = &c.dl
+	}
+
 	var (
 		res BDMAResult
 		err error
 	)
 	if c.rooms != nil {
-		res, err = c.sys.bdmaRoomsScratch(observed, c.dpp.V, c.rooms.Backlogs(), c.cfg.BDMA, src, &c.p2a, c.instr.solve, c.pool)
+		res, err = c.sys.bdmaRoomsScratch(observed, c.dpp.V, c.rooms.Backlogs(), c.cfg.BDMA, src, &c.p2a, c.instr.solve, c.pool, dl)
 	} else {
-		res, err = c.sys.bdmaScratch(observed, c.dpp.V, c.dpp.Queue.Backlog(), c.cfg.BDMA, src, &c.p2a, c.instr.solve, c.pool)
+		res, err = c.sys.bdmaScratch(observed, c.dpp.V, c.dpp.Queue.Backlog(), c.cfg.BDMA, src, &c.p2a, c.instr.solve, c.pool, dl)
+	}
+	rung := RungFull
+	if err == nil && res.Degraded {
+		rung = RungAnytime
 	}
 	if err != nil {
-		return nil, fmt.Errorf("core: slot %d: %w", c.slot, err)
+		// Only a deadline miss descends the ladder; anything else (bad
+		// state, infeasible device) is a hard error the caller must see.
+		if !errors.Is(err, ErrSlotDeadline) {
+			return nil, fmt.Errorf("core: slot %d: %w", c.slot, err)
+		}
+		rung = RungPrevious
+		res, err = c.repriceDecision(observed)
+		if err != nil {
+			rung = RungGreedy
+			res, err = c.greedyDecision(observed)
+			if err != nil {
+				return nil, fmt.Errorf("core: slot %d: %w", c.slot, err)
+			}
+		}
+	}
+	if dl != nil {
+		// Remember the decision for RungPrevious, copying into reused
+		// capacity (allocation-free after the first slot).
+		c.prevSel.Station = append(c.prevSel.Station[:0], res.Selection.Station...)
+		c.prevSel.Server = append(c.prevSel.Server[:0], res.Selection.Server...)
+		c.prevFreq = append(c.prevFreq[:0], res.Freq...)
+		c.havePrev = true
 	}
 	if observed != realized {
 		if err := c.sys.Validate(res.Selection, realized); err != nil {
@@ -226,6 +310,8 @@ func (c *Controller) StepWithObservation(observed, realized *trace.State) (*Slot
 		Theta:            res.Theta,
 		Objective:        res.Objective,
 		SolverIterations: res.SolverIterations,
+		Degraded:         rung != RungFull,
+		Rung:             rung,
 	}
 	if c.rooms != nil {
 		for room, theta := range res.RoomThetas {
@@ -239,6 +325,79 @@ func (c *Controller) StepWithObservation(observed, realized *trace.State) (*Slot
 	out.Elapsed = time.Since(start)
 	c.instr.record(out)
 	return out, nil
+}
+
+// SetSlotDeadline (re)configures the per-slot budgets after construction:
+// budget is the wall-clock allowance, checks the deterministic checkpoint
+// allowance (see ControllerConfig). Both zero disables the ladder.
+func (c *Controller) SetSlotDeadline(budget time.Duration, checks int) {
+	c.cfg.SlotDeadline = budget
+	c.cfg.SlotChecks = checks
+}
+
+// SetStall injects an artificial solver stall: every subsequent slot's
+// timed budget is pre-charged by d before the solve starts — the
+// deterministic lever the fault harness uses to force deadline misses
+// without sleeping. Zero clears it; a stall never affects a slot with no
+// timed budget armed.
+func (c *Controller) SetStall(d time.Duration) { c.stall = d }
+
+// repriceDecision is RungPrevious: the previous slot's (x, y, Ω) is reused
+// with the Lemma-1 allocation and the objective recomputed fresh against
+// the current observed state. It fails — sending the ladder to the greedy
+// rung — when no previous decision exists or it is no longer feasible
+// (e.g. a device's chosen station lost coverage this slot).
+func (c *Controller) repriceDecision(st *trace.State) (BDMAResult, error) {
+	if !c.havePrev {
+		return BDMAResult{}, errors.New("core: no previous decision to reuse")
+	}
+	if err := c.sys.Validate(c.prevSel, st); err != nil {
+		return BDMAResult{}, err
+	}
+	res := BDMAResult{
+		Selection: c.prevSel.Clone(),
+		Freq:      c.prevFreq.Clone(),
+		Degraded:  true,
+	}
+	return c.priceDecision(res, st), nil
+}
+
+// greedyDecision is RungGreedy, the ladder's last resort: a deterministic
+// one-pass greedy profile on the slot's P2-A game at the lowest
+// frequencies Ω^L. The game was built by BDMA round 0 for this slot's
+// state (round 0 never checkpoints before building), so the profile maps
+// onto pairs feasible under the current coverage.
+func (c *Controller) greedyDecision(st *trace.State) (BDMAResult, error) {
+	g := c.p2a.Game()
+	if g == nil {
+		return BDMAResult{}, errors.New("core: no P2-A game for the greedy fallback")
+	}
+	greedy := game.GreedyProfile(g)
+	res := BDMAResult{
+		Selection: c.p2a.Selection(greedy.Profile),
+		Freq:      c.sys.LowestFrequencies(),
+		Degraded:  true,
+	}
+	return c.priceDecision(res, st), nil
+}
+
+// priceDecision fills the objective, Θ (per-room in multi-budget mode),
+// and reduced latency of a fallback decision, mirroring what bdmaScratch/
+// bdmaRoomsScratch report for a full solve.
+func (c *Controller) priceDecision(res BDMAResult, st *trace.State) BDMAResult {
+	if c.rooms != nil {
+		res.Objective = c.sys.p2ObjectiveRooms(res.Selection, res.Freq, st, c.dpp.V, c.rooms.Backlogs(), c.pool)
+		res.RoomThetas = c.sys.RoomThetas(res.Freq, st.Price)
+		res.Theta = 0
+		for _, theta := range res.RoomThetas {
+			res.Theta += theta
+		}
+	} else {
+		res.Objective = c.sys.p2Objective(res.Selection, res.Freq, st, c.dpp.V, c.dpp.Queue.Backlog(), c.pool)
+		res.Theta = c.sys.Theta(res.Freq, st.Price)
+	}
+	res.Latency = c.sys.reducedLatency(res.Selection, res.Freq, st, c.pool).Value()
+	return res
 }
 
 // NewBDMAController returns the paper's BDMA-based DPP with CGBA(λ) and z

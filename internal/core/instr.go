@@ -16,6 +16,10 @@ const (
 	MetricBacklog         = "controller.backlog"          // histogram: Q(t+1) per slot
 	MetricBacklogNow      = "controller.backlog_now"      // gauge: latest Q(t+1)
 
+	// Slot-deadline robustness (the degradation ladder; OPERATIONS.md).
+	MetricDeadlineMissed = "controller.slot_deadline_missed" // counter: slots whose deadline expired
+	MetricFallbackRung   = "controller.fallback_rung"        // histogram: ladder rung (1–3) of degraded slots
+
 	// BDMA alternation (Algorithm 2).
 	MetricBDMARounds    = "bdma.rounds"     // counter: alternation rounds executed
 	MetricBDMABestRound = "bdma.best_round" // histogram: 1-based round yielding the kept decision
@@ -52,6 +56,8 @@ type ctrlInstr struct {
 	theta    *obs.Histogram
 	backlog  *obs.Histogram
 	backlogG *obs.Gauge
+	missed   *obs.Counter
+	rung     *obs.Histogram
 	solve    solveInstr
 }
 
@@ -70,6 +76,8 @@ func (c *Controller) SetObs(reg *obs.Registry) {
 		theta:    reg.Histogram(MetricTheta),
 		backlog:  reg.Histogram(MetricBacklog),
 		backlogG: reg.Gauge(MetricBacklogNow),
+		missed:   reg.Counter(MetricDeadlineMissed),
+		rung:     reg.Histogram(MetricFallbackRung),
 		solve: solveInstr{
 			bdmaRounds:    reg.Counter(MetricBDMARounds),
 			bdmaBestRound: reg.Histogram(MetricBDMABestRound),
@@ -102,4 +110,11 @@ func (in *ctrlInstr) record(res *SlotResult) {
 	in.theta.Observe(res.Theta)
 	in.backlog.Observe(res.Backlog)
 	in.backlogG.Set(res.Backlog)
+	// Recorded only on degraded slots: deadline-free runs then produce
+	// obs snapshots identical to builds without the ladder (the
+	// instruments register as zeros on both sides of a comparison).
+	if res.Rung > 0 {
+		in.missed.Inc()
+		in.rung.Observe(float64(res.Rung))
+	}
 }

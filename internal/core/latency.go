@@ -80,7 +80,7 @@ func (s *System) LatencyOf(d Decision, st *trace.State) (total units.Seconds, pe
 		accessRate := st.Channels[i][k].Rate(units.Frequency(float64(bs.AccessBandwidth) * d.AccessShare[i]))
 		fronthaulRate := st.FronthaulSE[k].Rate(units.Frequency(float64(bs.FronthaulBandwidth) * d.FronthaulShare[i]))
 		capacity := srv.Capacity(d.Freq[n])
-		effective := units.Frequency(float64(capacity) * s.Net.Suitability[i][n] * d.ComputeShare[i])
+		effective := units.Frequency(float64(capacity) * st.Cap(n) * s.Net.Suitability[i][n] * d.ComputeShare[i])
 
 		perDevice[i] = LatencyBreakdown{
 			Access:     units.TransmitTime(st.DataLengths[i], accessRate),
@@ -122,7 +122,7 @@ func (s *System) reducedLatency(sel Selection, freq Frequencies, st *trace.State
 		if computeSum[n] == 0 {
 			continue
 		}
-		total += computeSum[n] * computeSum[n] / s.Net.Servers[n].Capacity(freq[n]).Hertz()
+		total += computeSum[n] * computeSum[n] / (s.Net.Servers[n].Capacity(freq[n]).Hertz() * st.Cap(n))
 	}
 	return units.Seconds(total)
 }

@@ -6,6 +6,7 @@ import (
 
 	"eotora/internal/par"
 	"eotora/internal/rng"
+	"eotora/internal/solver"
 	"eotora/internal/trace"
 	"eotora/internal/units"
 )
@@ -72,7 +73,7 @@ func (s *System) RoomThetas(freq Frequencies, price units.Price) map[int]float64
 // energy term is weighted by qByRoom of its hosting room.
 func (s *System) SolveP2BPerRoom(sel Selection, st *trace.State, v float64, qByRoom map[int]float64) (Frequencies, error) {
 	qOf := func(n int) float64 { return qByRoom[s.Net.Servers[n].Room] }
-	return s.solveP2B(sel, st, v, qOf, solveInstr{}, nil)
+	return s.solveP2B(sel, st, v, qOf, solveInstr{}, nil, nil)
 }
 
 // P2ObjectiveRooms evaluates V·T_t + Σ_m Q_m·Θ_m for a candidate decision.
@@ -94,12 +95,12 @@ func (s *System) p2ObjectiveRooms(sel Selection, freq Frequencies, st *trace.Sta
 // identical, but P2-B weighs each server's energy by its room's queue and
 // the objective sums the per-room drift terms.
 func (s *System) BDMARooms(st *trace.State, v float64, qByRoom map[int]float64, cfg BDMAConfig, src *rng.Source) (BDMAResult, error) {
-	return s.bdmaRoomsScratch(st, v, qByRoom, cfg, src, nil, solveInstr{}, nil)
+	return s.bdmaRoomsScratch(st, v, qByRoom, cfg, src, nil, solveInstr{}, nil, nil)
 }
 
 // bdmaRoomsScratch is BDMARooms with an optional reusable P2A, solve
-// instruments, and worker pool (see bdmaScratch).
-func (s *System) bdmaRoomsScratch(st *trace.State, v float64, qByRoom map[int]float64, cfg BDMAConfig, src *rng.Source, scratch *P2A, in solveInstr, pool *par.Pool) (BDMAResult, error) {
+// instruments, worker pool, and slot deadline (see bdmaScratch).
+func (s *System) bdmaRoomsScratch(st *trace.State, v float64, qByRoom map[int]float64, cfg BDMAConfig, src *rng.Source, scratch *P2A, in solveInstr, pool *par.Pool, dl *solver.Deadline) (BDMAResult, error) {
 	if err := s.ValidateRoomBudgets(); err != nil {
 		return BDMAResult{}, err
 	}
@@ -111,14 +112,14 @@ func (s *System) bdmaRoomsScratch(st *trace.State, v float64, qByRoom map[int]fl
 			return BDMAResult{}, fmt.Errorf("core: negative queue weight %v for room %d", q, room)
 		}
 	}
-	solve := func(sel Selection) (Frequencies, error) {
+	solve := func(sel Selection, sdl *solver.Deadline) (Frequencies, error) {
 		qOf := func(n int) float64 { return qByRoom[s.Net.Servers[n].Room] }
-		return s.solveP2B(sel, st, v, qOf, in, pool)
+		return s.solveP2B(sel, st, v, qOf, in, pool, sdl)
 	}
 	objective := func(sel Selection, freq Frequencies) float64 {
 		return s.p2ObjectiveRooms(sel, freq, st, v, qByRoom, pool)
 	}
-	res, err := s.bdmaLoop(st, cfg, src, solve, objective, scratch, in, pool)
+	res, err := s.bdmaLoop(st, cfg, src, solve, objective, scratch, in, pool, dl)
 	if err != nil {
 		return BDMAResult{}, err
 	}

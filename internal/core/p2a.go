@@ -43,9 +43,25 @@ type P2A struct {
 
 	// instr holds the engine's observability hooks, applied when the lazy
 	// engine is created (and immediately if it already exists); pool is
-	// the intra-slot worker pool forwarded to the engine the same way.
+	// the intra-slot worker pool forwarded to the engine the same way, and
+	// dl the slot deadline the engine polls at iteration boundaries.
 	instr game.Instruments
 	pool  *par.Pool
+	dl    *solver.Deadline
+
+	// capScale is the slot's per-server capacity degradation captured at
+	// BuildP2A time so Reweight can reapply it between rounds (nil =
+	// nominal; see trace.State.CapScale).
+	capScale []float64
+}
+
+// capAt returns the capacity scale for server n: capScale[n], or the
+// bit-exact nominal 1 when capScale is nil or short.
+func capAt(capScale []float64, n int) float64 {
+	if n >= len(capScale) {
+		return 1
+	}
+	return capScale[n]
 }
 
 // resource indexing inside the game:
@@ -53,11 +69,14 @@ type P2A struct {
 //	[0, N)            compute resources C_n with weight 1/ω_n (capacity),
 //	[N, N+K)          access links B_k^A with weight 1/W_k^A,
 //	[N+K, N+2K)       fronthaul links B_k^F with weight 1/W_k^F.
-func (s *System) fillResourceWeights(weights []float64, freq Frequencies) {
+//
+// capScale (nil = nominal) degrades each server's effective capacity; the
+// scale-1 multiply is bit-exact, so fault-free builds are unchanged.
+func (s *System) fillResourceWeights(weights []float64, freq Frequencies, capScale []float64) {
 	servers := len(s.Net.Servers)
 	stations := len(s.Net.BaseStations)
 	for n := 0; n < servers; n++ {
-		weights[n] = 1 / s.Net.Servers[n].Capacity(freq[n]).Hertz()
+		weights[n] = 1 / (s.Net.Servers[n].Capacity(freq[n]).Hertz() * capAt(capScale, n))
 	}
 	for k := 0; k < stations; k++ {
 		weights[servers+k] = 1 / s.Net.BaseStations[k].AccessBandwidth.Hertz()
@@ -104,10 +123,11 @@ func (s *System) BuildP2A(p *P2A, st *trace.State, freq Frequencies) error {
 	}
 	b := p.builder
 	b.Reset(servers + 2*stations)
-	s.fillResourceWeights(b.Weights(), freq)
+	s.fillResourceWeights(b.Weights(), freq, st.CapScale)
 
 	p.sys = s
 	p.stations, p.servers = stations, servers
+	p.capScale = st.CapScale
 	p.pairArena = p.pairArena[:0]
 	p.pairOff = append(p.pairOff[:0], 0)
 	p.lookup = resizeNegInt32(p.lookup, devices*stations*servers)
@@ -115,41 +135,52 @@ func (s *System) BuildP2A(p *P2A, st *trace.State, freq Frequencies) error {
 	for i := 0; i < devices; i++ {
 		b.NextPlayer()
 		count := 0
-		for k := 0; k < stations; k++ {
-			if !st.Covered(i, k) {
-				continue
-			}
-			accessW := math.Sqrt(st.DataLengths[i].Bits() / st.Channels[i][k].BpsPerHz())
-			fronthaulW := math.Sqrt(st.DataLengths[i].Bits() / st.FronthaulSE[k].BpsPerHz())
-			for _, n := range s.Net.ReachableServers(k) {
-				computeW := math.Sqrt(st.TaskSizes[i].Count() / s.Net.Suitability[i][n])
-				b.NextStrategy()
-				// A zero weight means the device exerts no load on that
-				// resource (f = 0 reduces EOTO to the pure-communication
-				// P1 problem); omit the use rather than inject a zero the
-				// game model rejects.
-				used := false
-				if computeW > 0 {
-					b.AddUse(n, computeW)
-					used = true
+		// Pass 0 honors ServerDown drains; pass 1 runs only when the drain
+		// would strand the device with no feasible pair, re-admitting down
+		// servers (a drain is advisory — serving every device wins). With
+		// no drains pass 0 visits the same pairs in the same order as
+		// before, so fault-free builds are bit-identical.
+		for pass := 0; pass < 2 && count == 0; pass++ {
+			honorDown := pass == 0
+			for k := 0; k < stations; k++ {
+				if !st.Covered(i, k) {
+					continue
 				}
-				if accessW > 0 {
-					b.AddUse(servers+k, accessW)
-					used = true
+				accessW := math.Sqrt(st.DataLengths[i].Bits() / st.Channels[i][k].BpsPerHz())
+				fronthaulW := math.Sqrt(st.DataLengths[i].Bits() / st.FronthaulSE[k].BpsPerHz())
+				for _, n := range s.Net.ReachableServers(k) {
+					if honorDown && st.Down(n) {
+						continue
+					}
+					computeW := math.Sqrt(st.TaskSizes[i].Count() / s.Net.Suitability[i][n])
+					b.NextStrategy()
+					// A zero weight means the device exerts no load on that
+					// resource (f = 0 reduces EOTO to the pure-communication
+					// P1 problem); omit the use rather than inject a zero the
+					// game model rejects.
+					used := false
+					if computeW > 0 {
+						b.AddUse(n, computeW)
+						used = true
+					}
+					if accessW > 0 {
+						b.AddUse(servers+k, accessW)
+						used = true
+					}
+					if fronthaulW > 0 {
+						b.AddUse(servers+stations+k, fronthaulW)
+						used = true
+					}
+					if !used {
+						// f = d = 0: the device is a no-op this slot and is
+						// indifferent between pairs; pin a negligible access
+						// load to keep the strategy well-formed.
+						b.AddUse(servers+k, math.SmallestNonzeroFloat64)
+					}
+					p.lookup[(i*stations+k)*servers+n] = int32(count)
+					p.pairArena = append(p.pairArena, topology.Pair{Station: k, Server: n})
+					count++
 				}
-				if fronthaulW > 0 {
-					b.AddUse(servers+stations+k, fronthaulW)
-					used = true
-				}
-				if !used {
-					// f = d = 0: the device is a no-op this slot and is
-					// indifferent between pairs; pin a negligible access
-					// load to keep the strategy well-formed.
-					b.AddUse(servers+k, math.SmallestNonzeroFloat64)
-				}
-				p.lookup[(i*stations+k)*servers+n] = int32(count)
-				p.pairArena = append(p.pairArena, topology.Pair{Station: k, Server: n})
-				count++
 			}
 		}
 		if count == 0 {
@@ -187,7 +218,7 @@ func (p *P2A) Reweight(freq Frequencies) error {
 		return err
 	}
 	for n := 0; n < p.servers; n++ {
-		m := 1 / p.sys.Net.Servers[n].Capacity(freq[n]).Hertz()
+		m := 1 / (p.sys.Net.Servers[n].Capacity(freq[n]).Hertz() * capAt(p.capScale, n))
 		if err := p.game.SetResourceWeight(n, m); err != nil {
 			return fmt.Errorf("core: reweighting P2-A game: %w", err)
 		}
@@ -205,6 +236,7 @@ func (p *P2A) Engine() *game.Engine {
 		p.engine = game.NewEngine(p.game)
 		p.engine.SetInstruments(p.instr)
 		p.engine.SetPool(p.pool)
+		p.engine.SetDeadline(p.dl)
 	}
 	return p.engine
 }
@@ -226,6 +258,16 @@ func (p *P2A) SetPool(pool *par.Pool) {
 	p.pool = pool
 	if p.engine != nil {
 		p.engine.SetPool(pool)
+	}
+}
+
+// SetDeadline attaches a slot deadline to the P2A's solve engine (now if
+// the engine exists, otherwise when it is lazily created). Nil detaches
+// it; a nil or unarmed deadline never truncates a solve.
+func (p *P2A) SetDeadline(dl *solver.Deadline) {
+	p.dl = dl
+	if p.engine != nil {
+		p.engine.SetDeadline(dl)
 	}
 }
 
@@ -315,6 +357,8 @@ func (c CGBASolver) Solve(p *P2A, src *rng.Source) (game.Result, error) {
 
 // MCBASolver is the Markov chain Monte Carlo baseline [36].
 type MCBASolver struct {
+	// Config tunes the Markov chain walk; the zero value selects the
+	// game package's defaults.
 	Config game.MCBAConfig
 }
 
@@ -347,6 +391,8 @@ func (RandomSolver) Solve(p *P2A, src *rng.Source) (game.Result, error) {
 // paper's Gurobi runs. With zero budgets the result is provably optimal;
 // with budgets it reports the best incumbent (warm-started by CGBA).
 type OptimalSolver struct {
+	// Config bounds the branch-and-bound search; zero budgets make the
+	// solve exact.
 	Config solver.BnBConfig
 }
 

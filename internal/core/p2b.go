@@ -29,7 +29,7 @@ func (s *System) SolveP2B(sel Selection, st *trace.State, v, q float64) (Frequen
 	if q < 0 || math.IsNaN(q) {
 		return nil, fmt.Errorf("core: P2-B needs Q ≥ 0, got %v", q)
 	}
-	return s.solveP2B(sel, st, v, func(int) float64 { return q }, solveInstr{}, nil)
+	return s.solveP2B(sel, st, v, func(int) float64 { return q }, solveInstr{}, nil, nil)
 }
 
 // solveP2B is the shared per-server convex solve; qOf supplies the queue
@@ -41,9 +41,17 @@ func (s *System) SolveP2B(sel Selection, st *trace.State, v, q float64) (Frequen
 // shard independence, each server's result lands in its preallocated
 // freq slot, and golden-section search draws no randomness, so the
 // returned frequencies are bit-identical to the serial loop.
-func (s *System) solveP2B(sel Selection, st *trace.State, v float64, qOf func(server int) float64, in solveInstr, pool *par.Pool) (Frequencies, error) {
+//
+// dl is polled exactly once, at entry — never per server, which would make
+// counted-checkpoint budgets depend on the shard layout. An expired
+// deadline returns ErrSlotDeadline; the BDMA loop maps it to the best
+// decision found so far.
+func (s *System) solveP2B(sel Selection, st *trace.State, v float64, qOf func(server int) float64, in solveInstr, pool *par.Pool, dl *solver.Deadline) (Frequencies, error) {
 	if !(v > 0) {
 		return nil, fmt.Errorf("core: P2-B needs V > 0, got %v", v)
+	}
+	if dl.Expired() {
+		return nil, fmt.Errorf("core: P2-B: %w", ErrSlotDeadline)
 	}
 	servers := len(s.Net.Servers)
 
@@ -109,11 +117,12 @@ func (s *System) solveP2BServer(n int, sum float64, st *trace.State, v, q float6
 	srv := &s.Net.Servers[n]
 	a := sum * sum
 	cores := float64(srv.Cores)
+	capScale := st.Cap(n)
 	model := s.Energy[n]
 	obj := func(w float64) float64 {
 		latency := 0.0
 		if a > 0 {
-			latency = a / (cores * w)
+			latency = a / (cores * w * capScale)
 		}
 		e := units.Over(units.Power(model.Power(units.Frequency(w)).Watts()*cores), units.Seconds(s.SlotSeconds))
 		return v*latency + q*float64(st.Price.Cost(e))

@@ -81,9 +81,17 @@ func DefaultEnergyModels(servers int, src interface {
 	return models
 }
 
-// CheckState verifies a state's dimensions against the system.
+// CheckState verifies a state's dimensions and values against the system.
+// Beyond the shape checks, every numeric field must be finite and in
+// range: NaN or negative task sizes, data lengths, or channel gains, a
+// non-finite or non-positive price, and out-of-range CapScale entries are
+// all rejected. A NaN admitted here would propagate through the Lemma-1
+// square roots into the objective and ultimately poison the virtual queue
+// Q(t), so the solve pipeline trusts states only after this gate (the
+// trace.Sanitizer repairs instead of rejecting, for sources that must
+// keep flowing).
 func (s *System) CheckState(st *trace.State) error {
-	stations, _, _, devices := s.Net.Counts()
+	stations, _, servers, devices := s.Net.Counts()
 	if len(st.TaskSizes) != devices || len(st.DataLengths) != devices || len(st.Channels) != devices {
 		return fmt.Errorf("core: state sized for %d devices, system has %d", len(st.TaskSizes), devices)
 	}
@@ -95,8 +103,39 @@ func (s *System) CheckState(st *trace.State) error {
 	if len(st.FronthaulSE) != stations {
 		return fmt.Errorf("core: state has %d fronthaul entries, system has %d stations", len(st.FronthaulSE), stations)
 	}
-	if st.Price <= 0 {
-		return fmt.Errorf("core: non-positive price %v", st.Price)
+	for i := 0; i < devices; i++ {
+		if f := st.TaskSizes[i].Count(); math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+			return fmt.Errorf("core: device %d task size %v invalid", i, st.TaskSizes[i])
+		}
+		if d := st.DataLengths[i].Bits(); math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+			return fmt.Errorf("core: device %d data length %v invalid", i, st.DataLengths[i])
+		}
+		for k, h := range st.Channels[i] {
+			if v := h.BpsPerHz(); math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("core: device %d channel to station %d is %v", i, k, h)
+			}
+		}
+	}
+	for k, se := range st.FronthaulSE {
+		if v := se.BpsPerHz(); math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return fmt.Errorf("core: station %d fronthaul efficiency %v invalid", k, se)
+		}
+	}
+	if p := float64(st.Price); math.IsNaN(p) || math.IsInf(p, 0) || p <= 0 {
+		return fmt.Errorf("core: invalid price %v", st.Price)
+	}
+	if st.ServerDown != nil && len(st.ServerDown) != servers {
+		return fmt.Errorf("core: ServerDown sized %d, system has %d servers", len(st.ServerDown), servers)
+	}
+	if st.CapScale != nil {
+		if len(st.CapScale) != servers {
+			return fmt.Errorf("core: CapScale sized %d, system has %d servers", len(st.CapScale), servers)
+		}
+		for n, c := range st.CapScale {
+			if math.IsNaN(c) || c <= 0 || c > 1 {
+				return fmt.Errorf("core: server %d capacity scale %v outside (0, 1]", n, c)
+			}
+		}
 	}
 	return nil
 }
@@ -206,6 +245,7 @@ type Allocation struct {
 type Decision struct {
 	Selection
 	Allocation
+	// Freq is the frequency vector Ω chosen by P2-B.
 	Freq Frequencies
 }
 

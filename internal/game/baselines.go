@@ -45,6 +45,34 @@ func RandomProfile(g *Game, src *rng.Source) Result {
 	return Result{Profile: profile, Objective: g.SocialCost(profile), Iterations: 0}
 }
 
+// GreedyProfile builds a profile in one deterministic pass: players commit
+// in index order, each picking the strategy minimizing its marginal cost
+// Σ_u wm·(load+w) against the loads of the already-placed players. It
+// draws no randomness and visits each (player, strategy, use) triple once,
+// making it the constant-time last rung of the controller's degradation
+// ladder — always feasible, never iterative.
+func GreedyProfile(g *Game) Result {
+	profile := make(Profile, g.Players())
+	loads := make([]float64, g.Resources())
+	for i := range profile {
+		best, bestCost := 0, math.Inf(1)
+		for s := 0; s < g.StrategyCount(i); s++ {
+			c := 0.0
+			for _, u := range g.strategyUses(i, s) {
+				c += u.wm * (loads[u.res] + u.w)
+			}
+			if c < bestCost {
+				best, bestCost = s, c
+			}
+		}
+		profile[i] = best
+		for _, u := range g.strategyUses(i, best) {
+			loads[u.res] += u.w
+		}
+	}
+	return Result{Profile: profile, Objective: g.SocialCost(profile), Iterations: 0}
+}
+
 // bnbView adapts a Game to solver.Problem so BranchAndBound can compute
 // the exact optimum (the Gurobi-replacement baseline of Figures 4 and 5).
 // Players are searched in descending order of their cheapest self-cost

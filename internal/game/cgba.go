@@ -20,6 +20,12 @@ type Result struct {
 	// when CGBAConfig.TrackObjective is set (entry 0 = initial profile);
 	// nil otherwise.
 	ObjectiveTrace []float64
+	// Truncated reports that the solve stopped at a deadline checkpoint
+	// (Engine.SetDeadline) before reaching its usual termination. The
+	// profile is still feasible — CGBA's current iterate and MCBA's
+	// best-so-far are valid profiles at every iteration boundary — but
+	// carries no equilibrium or approximation guarantee.
+	Truncated bool
 }
 
 // PivotRule selects which dissatisfied player moves at each CGBA step.
@@ -37,6 +43,7 @@ const (
 	PivotRandom
 )
 
+// String names the rule for logs and figure labels.
 func (p PivotRule) String() string {
 	switch p {
 	case PivotMaxImprovement:

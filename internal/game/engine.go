@@ -23,6 +23,7 @@ import (
 
 	"eotora/internal/par"
 	"eotora/internal/rng"
+	"eotora/internal/solver"
 )
 
 // Engine is reusable mutable solve state bound to one Game. It is not safe
@@ -61,6 +62,12 @@ type Engine struct {
 	pool         *par.Pool
 	refreshT     refreshTask
 	shardTallies []engineTallies
+
+	// deadline, when non-nil, is polled at iteration boundaries: an
+	// expired deadline truncates the solve, returning the current
+	// (feasible) iterate with Result.Truncated set. Nil never expires,
+	// so the undeadlined path is unchanged (see SetDeadline).
+	deadline *solver.Deadline
 }
 
 // NewEngine returns an Engine bound to g with all caches invalid.
@@ -91,6 +98,14 @@ func (e *Engine) Bind(g *Game) {
 
 // Game returns the bound game.
 func (e *Engine) Game() *Game { return e.g }
+
+// SetDeadline attaches a cooperative deadline polled at CGBA/MCBA
+// iteration boundaries. When the deadline expires mid-solve the engine
+// returns its current feasible iterate (CGBA) or best-so-far profile
+// (MCBA) with Result.Truncated set instead of running to termination. A
+// nil deadline (the default) never expires and adds only a nil check per
+// iteration, keeping the undeadlined solve bit-identical.
+func (e *Engine) SetDeadline(dl *solver.Deadline) { e.deadline = dl }
 
 // Profile returns a view of the engine's current profile. The slice is
 // owned by the engine; callers must Clone it to retain it across moves.
@@ -322,6 +337,21 @@ func (e *Engine) CGBA(cfg CGBAConfig, src *rng.Source) (Result, error) {
 	iterations := 0
 	rrCursor := 0
 	for ; iterations < maxIter; iterations++ {
+		// Deadline checkpoint: one poll per iteration, before any refresh
+		// work. The checkpoint count is a function of the iteration count
+		// alone — identical at every pool size — so counted budgets
+		// degrade deterministically. The current iterate is always a
+		// feasible profile, so truncation can return it directly.
+		if e.deadline.Expired() {
+			e.recordCGBA(iterations)
+			return Result{
+				Profile:        e.profile.Clone(),
+				Objective:      g.SocialCost(e.profile),
+				Iterations:     iterations,
+				ObjectiveTrace: objTrace,
+				Truncated:      true,
+			}, nil
+		}
 		mover, strategy := -1, -1
 		if usePar {
 			e.refreshAllParallel()
@@ -447,6 +477,15 @@ func (e *Engine) MCBA(cfg MCBAConfig, src *rng.Source) (Result, error) {
 	copy(best, profile)
 	bestObj := cur
 	for it := 0; it < iters; it++ {
+		// Deadline checkpoint every 64 moves: the walk is too hot to pay a
+		// time.Now() per iteration, and 64 keeps the counted-checkpoint
+		// sequence deterministic (it depends only on the iteration index).
+		if it&63 == 0 && e.deadline.Expired() {
+			e.invalidateAll()
+			e.instr.MCBAIterations.Observe(float64(it))
+			e.flushInstr()
+			return Result{Profile: best.Clone(), Objective: g.SocialCost(best), Iterations: it, Truncated: true}, nil
+		}
 		i := src.Intn(n)
 		count := g.StrategyCount(i)
 		if count == 1 {

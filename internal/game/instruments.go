@@ -13,17 +13,18 @@ import "eotora/internal/obs"
 // direct PlayerCost/BestResponse queries outside a solve are flushed by
 // the next solve on the same engine.
 type Instruments struct {
-	// CGBASolves counts Engine.CGBA calls; CGBAIterations records each
-	// call's improvement-step count (the Figure 5/6 complexity metric,
-	// bounded by Theorem 2).
-	CGBASolves     *obs.Counter
+	// CGBASolves counts Engine.CGBA calls.
+	CGBASolves *obs.Counter
+	// CGBAIterations records each CGBA call's improvement-step count (the
+	// Figure 5/6 complexity metric, bounded by Theorem 2).
 	CGBAIterations *obs.Histogram
 	// MCBAIterations records each Engine.MCBA call's walk length.
 	MCBAIterations *obs.Histogram
-	// CacheHits/CacheMisses record best-response cache performance: a hit
-	// is a refresh that found the player's cached cost and best response
-	// still valid; a miss required full per-player recomputation.
-	CacheHits   *obs.Counter
+	// CacheHits counts refreshes that found a player's cached cost and
+	// best response still valid.
+	CacheHits *obs.Counter
+	// CacheMisses counts refreshes that required full per-player
+	// recomputation.
 	CacheMisses *obs.Counter
 	// Moves counts strategy switches applied to the engine's profile.
 	Moves *obs.Counter

@@ -12,17 +12,25 @@ import (
 // Bucket is one non-empty histogram bucket in a snapshot. Le is the
 // bucket's exclusive upper bound (+Inf for the overflow bucket).
 type Bucket struct {
-	Le    float64 `json:"le"`
-	Count int64   `json:"count"`
+	// Le is the bucket's exclusive upper bound.
+	Le float64 `json:"le"`
+	// Count is the number of observations below Le and above the
+	// previous bucket's bound.
+	Count int64 `json:"count"`
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram. Min and Max
 // are NaN when the histogram has no observations.
 type HistogramSnapshot struct {
-	Count   int64    `json:"count"`
-	Sum     float64  `json:"sum"`
-	Min     float64  `json:"min"`
-	Max     float64  `json:"max"`
+	// Count is the total number of observations.
+	Count int64 `json:"count"`
+	// Sum is the sum of all observed values.
+	Sum float64 `json:"sum"`
+	// Min is the smallest observation.
+	Min float64 `json:"min"`
+	// Max is the largest observation.
+	Max float64 `json:"max"`
+	// Buckets holds the non-empty buckets in ascending bound order.
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
@@ -59,8 +67,11 @@ func (h HistogramSnapshot) Quantile(q float64) float64 {
 // JSON-serializable. Produced by Registry.Snapshot; safe to retain and
 // marshal after the registry keeps mutating.
 type Snapshot struct {
-	Counters   map[string]int64             `json:"counters,omitempty"`
-	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	// Counters maps counter names to their totals.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Gauges maps gauge names to their last-set values.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Histograms maps histogram names to their distribution copies.
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 

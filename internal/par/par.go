@@ -47,6 +47,8 @@ const (
 // interface does not allocate, keeping parallel regions off the heap in
 // steady state.
 type Task interface {
+	// Run executes one shard's slice of the region; shard ranges over
+	// [0, shards) as passed to Pool.Run.
 	Run(shard int)
 }
 
@@ -180,7 +182,9 @@ func Span(n, shards, s int) (lo, hi int) {
 // Instruments are the pool's observability hooks; all fields are
 // optional (obs handles are nil-safe).
 type Instruments struct {
-	Regions      *obs.Counter
+	// Regions counts parallel regions executed (Pool.Run calls).
+	Regions *obs.Counter
+	// RegionShards records each region's shard count.
 	RegionShards *obs.Histogram
 }
 

@@ -65,6 +65,7 @@ type Metrics struct {
 	Price            []float64       // p_t $/MWh
 	SolverIterations []int           // P2-A work per slot
 	DecisionTime     []time.Duration // wall clock per slot
+	Rung             []int           // fallback-ladder rung (0 = full solve)
 
 	// PerDevice[t][i] is device i's latency at slot t; non-nil only when
 	// Config.RecordPerDevice was set.
@@ -114,6 +115,19 @@ func (m *Metrics) AvgDecisionTime() time.Duration {
 	return total / time.Duration(len(m.DecisionTime))
 }
 
+// DegradedSlots returns how many recorded slots were decided below the
+// full-solve rung (SlotResult.Degraded), the headline degradation rate of
+// a deadline or fault study.
+func (m *Metrics) DegradedSlots() int {
+	n := 0
+	for _, r := range m.Rung {
+		if r > 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // BudgetSatisfied reports whether the post-warmup average cost stays
 // within (1+slack) of the budget.
 func (m *Metrics) BudgetSatisfied(slack float64) bool {
@@ -128,10 +142,14 @@ func (m *Metrics) WindowAvgLatency(window int) []float64 {
 
 // WriteCSV streams the per-slot series as CSV.
 func (m *Metrics) WriteCSV(w io.Writer) error {
-	if _, err := io.WriteString(w, "slot,latency_s,cost_usd,theta,backlog,price_mwh,solver_iters,decision_us\n"); err != nil {
+	if _, err := io.WriteString(w, "slot,latency_s,cost_usd,theta,backlog,price_mwh,solver_iters,decision_us,degraded,rung\n"); err != nil {
 		return err
 	}
 	for i := range m.Latency {
+		degraded := 0
+		if m.Rung[i] > 0 {
+			degraded = 1
+		}
 		row := strconv.Itoa(i+1) + "," +
 			strconv.FormatFloat(m.Latency[i], 'g', 10, 64) + "," +
 			strconv.FormatFloat(m.EnergyCost[i], 'g', 10, 64) + "," +
@@ -139,7 +157,9 @@ func (m *Metrics) WriteCSV(w io.Writer) error {
 			strconv.FormatFloat(m.Backlog[i], 'g', 10, 64) + "," +
 			strconv.FormatFloat(m.Price[i], 'g', 10, 64) + "," +
 			strconv.Itoa(m.SolverIterations[i]) + "," +
-			strconv.FormatInt(m.DecisionTime[i].Microseconds(), 10) + "\n"
+			strconv.FormatInt(m.DecisionTime[i].Microseconds(), 10) + "," +
+			strconv.Itoa(degraded) + "," +
+			strconv.Itoa(m.Rung[i]) + "\n"
 		if _, err := io.WriteString(w, row); err != nil {
 			return err
 		}
@@ -188,6 +208,7 @@ func newMetrics(ctrl *core.Controller, cfg Config) *Metrics {
 		Price:            make([]float64, 0, cfg.Slots),
 		SolverIterations: make([]int, 0, cfg.Slots),
 		DecisionTime:     make([]time.Duration, 0, cfg.Slots),
+		Rung:             make([]int, 0, cfg.Slots),
 		recordPerDevice:  cfg.RecordPerDevice,
 	}
 }
@@ -210,6 +231,7 @@ func (m *Metrics) step(ctrl *core.Controller, src trace.Source, s int) error {
 	m.Price = append(m.Price, st.Price.PerMWh())
 	m.SolverIterations = append(m.SolverIterations, res.SolverIterations)
 	m.DecisionTime = append(m.DecisionTime, res.Elapsed)
+	m.Rung = append(m.Rung, res.Rung)
 	if m.recordPerDevice {
 		row := make([]float64, len(res.PerDevice))
 		for i, lb := range res.PerDevice {
@@ -273,6 +295,9 @@ func (m *Metrics) Summary(w io.Writer) error {
 		fmt.Fprintf(&b, "  avg Jain fairness:  %.3f\n", f)
 	}
 	fmt.Fprintf(&b, "  avg decision time:  %v/slot\n", m.AvgDecisionTime())
+	if d := m.DegradedSlots(); d > 0 {
+		fmt.Fprintf(&b, "  degraded slots:     %d of %d (fallback ladder; see OPERATIONS.md)\n", d, m.Slots())
+	}
 	if m.BudgetSatisfied(0.02) {
 		b.WriteString("  budget:             satisfied ✓\n")
 	} else {

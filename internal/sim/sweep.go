@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"eotora/internal/core"
+	"eotora/internal/faults"
 	"eotora/internal/obs"
 	"eotora/internal/par"
 	"eotora/internal/trace"
@@ -30,6 +31,11 @@ type Job struct {
 	// it into the JobResult, and MergedObs folds the per-worker
 	// registries into one fleet view after the sweep.
 	Obs *obs.Registry
+	// Faults, when non-nil, wraps the job's source in a seeded fault
+	// injector (and, when Faults.Sanitize is set, a repairing
+	// trace.Sanitizer on top) and attaches the injector's stall channel to
+	// the controller. See the faults package for the fault model.
+	Faults *faults.Config
 }
 
 // JobResult pairs a job's name with its metrics and, when the job was
@@ -125,6 +131,17 @@ func runJob(job Job, out *JobResult, pool *par.Pool) error {
 	src, err := job.Source()
 	if err != nil {
 		return err
+	}
+	if job.Faults != nil {
+		inj, err := faults.NewInjector(*job.Faults, len(ctrl.System().Net.Servers), src)
+		if err != nil {
+			return err
+		}
+		inj.Attach(ctrl)
+		src = inj
+		if job.Faults.Sanitize {
+			src = trace.NewSanitizer(src)
+		}
 	}
 	m, err := Run(ctrl, src, job.Config)
 	if err != nil {

@@ -11,8 +11,11 @@ import (
 // GeneratorConfig assembles the three state processes into a full β_t
 // source for a network.
 type GeneratorConfig struct {
-	Price   PriceConfig
-	Demand  DemandConfig
+	// Price configures the electricity-price process p_t.
+	Price PriceConfig
+	// Demand configures the task-size and data-length processes.
+	Demand DemandConfig
+	// Channel configures the access-link spectral-efficiency process.
 	Channel ChannelConfig
 
 	// IID, when true, removes the periodic trends from all processes

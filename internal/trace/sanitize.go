@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"math"
+
+	"eotora/internal/units"
+)
+
+// Sanitizer wraps a Source and repairs invalid fields in every state
+// before it reaches the controller: NaN, infinite, or negative task sizes,
+// data lengths, channel gains, fronthaul efficiencies, and prices are
+// replaced with the last good value seen in the same position (or a safe
+// default before any good value exists), and a device whose entire channel
+// row was zeroed — which would strand it with no coverage — gets its last
+// good row restored. Out-of-range CapScale entries are clamped to the
+// nominal 1.
+//
+// The sanitizer is opt-in: sources not wrapped in one flow through
+// untouched, and a wrapped source emitting only valid states is returned
+// unmodified (bit-identical), with the last-good buffers updated as a side
+// effect. Repairs happen in place on the source's state and in reused
+// buffers, so the steady-state path allocates only while the buffers grow
+// to the state's dimensions.
+type Sanitizer struct {
+	src     Source
+	repairs int
+
+	// Last-good copies, reused across slots.
+	goodTasks    []units.Cycles
+	goodData     []units.DataSize
+	goodChannels [][]units.SpectralEfficiency
+	goodFront    []units.SpectralEfficiency
+	goodPrice    units.Price
+}
+
+// Fallbacks used before any good value has been observed for a field.
+// They are deliberately bland — a small task on a modest channel — so a
+// corrupted first slot degrades gracefully instead of failing validation.
+const (
+	fallbackTask    = 50e6 // 50 megacycles, the paper's demand floor
+	fallbackData    = 3e6  // 3 megabits, the paper's data floor
+	fallbackChannel = 15   // bps/Hz, the paper's channel floor
+	fallbackPrice   = 25   // $/MWh, an off-peak NYISO level
+)
+
+// NewSanitizer wraps src in a repairing filter.
+func NewSanitizer(src Source) *Sanitizer {
+	return &Sanitizer{src: src}
+}
+
+// Period implements Source.
+func (z *Sanitizer) Period() int { return z.src.Period() }
+
+// Repairs returns the total number of fields repaired so far.
+func (z *Sanitizer) Repairs() int { return z.repairs }
+
+// Next implements Source: it pulls the next state from the wrapped source,
+// repairs it in place, and remembers the repaired values as the new last
+// good state.
+func (z *Sanitizer) Next() *State {
+	st := z.src.Next()
+	z.repairs += z.Apply(st)
+	return st
+}
+
+// Apply repairs st in place against the sanitizer's last-good state and
+// returns the number of fields repaired. It is exported for the fuzz
+// harness (FuzzSanitizeState), which feeds it adversarial states directly;
+// after Apply, every numeric field of st is finite and in range, so no NaN
+// can reach the controller's virtual queue. Apply also refreshes the
+// last-good buffers from the repaired state.
+func (z *Sanitizer) Apply(st *State) int {
+	n := 0
+	for i := range st.TaskSizes {
+		if bad(st.TaskSizes[i].Count()) {
+			st.TaskSizes[i] = goodAt(z.goodTasks, i, fallbackTask)
+			n++
+		}
+	}
+	for i := range st.DataLengths {
+		if bad(st.DataLengths[i].Bits()) {
+			st.DataLengths[i] = goodAt(z.goodData, i, fallbackData)
+			n++
+		}
+	}
+	for i := range st.Channels {
+		row := st.Channels[i]
+		if len(row) == 0 {
+			// A zero-station row is a shape defect, not a corrupted value;
+			// CheckState rejects it and there is nothing here to repair.
+			continue
+		}
+		covered := false
+		for k := range row {
+			if bad(row[k].BpsPerHz()) {
+				row[k] = 0 // repaired below if the whole row went dark
+				n++
+			}
+			if row[k] > 0 {
+				covered = true
+			}
+		}
+		if !covered {
+			// The device lost all coverage to corruption: restore its last
+			// good row, or pin it to station 0 before one exists.
+			if i < len(z.goodChannels) && len(z.goodChannels[i]) == len(row) {
+				copy(row, z.goodChannels[i])
+			} else {
+				row[0] = fallbackChannel
+			}
+			n++
+		}
+	}
+	for k := range st.FronthaulSE {
+		if v := st.FronthaulSE[k].BpsPerHz(); bad(v) || v == 0 {
+			st.FronthaulSE[k] = goodAt(z.goodFront, k, fallbackChannel)
+			n++
+		}
+	}
+	if p := float64(st.Price); bad(p) || p == 0 {
+		if z.goodPrice > 0 {
+			st.Price = z.goodPrice
+		} else {
+			st.Price = fallbackPrice
+		}
+		n++
+	}
+	for i := range st.CapScale {
+		if c := st.CapScale[i]; math.IsNaN(c) || c <= 0 || c > 1 {
+			st.CapScale[i] = 1
+			n++
+		}
+	}
+
+	// The state is now valid; it becomes the last good one.
+	z.goodTasks = append(z.goodTasks[:0], st.TaskSizes...)
+	z.goodData = append(z.goodData[:0], st.DataLengths...)
+	z.goodFront = append(z.goodFront[:0], st.FronthaulSE...)
+	if cap(z.goodChannels) < len(st.Channels) {
+		z.goodChannels = make([][]units.SpectralEfficiency, len(st.Channels))
+	} else {
+		z.goodChannels = z.goodChannels[:len(st.Channels)]
+	}
+	for i := range st.Channels {
+		z.goodChannels[i] = append(z.goodChannels[i][:0], st.Channels[i]...)
+	}
+	z.goodPrice = st.Price
+	return n
+}
+
+// bad reports a value unusable as a non-negative finite quantity.
+func bad(v float64) bool {
+	return math.IsNaN(v) || math.IsInf(v, 0) || v < 0
+}
+
+// goodAt returns good[i] when it exists and is positive, else the
+// fallback.
+func goodAt[T ~float64](good []T, i int, fallback T) T {
+	if i < len(good) && good[i] > 0 {
+		return good[i]
+	}
+	return fallback
+}

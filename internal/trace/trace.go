@@ -47,11 +47,45 @@ type State struct {
 
 	// Price is the electricity price p_t.
 	Price units.Price
+
+	// ServerDown, when non-nil, advisorily marks servers to drain this
+	// slot (fault injection, maintenance windows): the P2-A game builder
+	// skips pairs targeting a down server whenever the device has an
+	// alternative, falling back to ignoring the drain when it would leave
+	// a device with no feasible pair. Core validation stays permissive —
+	// a decision using a down server is degraded, not infeasible. Nil
+	// means all servers up.
+	ServerDown []bool
+
+	// CapScale, when non-nil, scales each server's effective computing
+	// capacity this slot: 1 = nominal, 0.5 = half the capacity lost.
+	// Entries must lie in (0, 1]. The scale enters the P2-A compute
+	// weights, the reduced latency, and the P2-B objective; energy draw
+	// is left at the nominal model (a degraded server still burns power).
+	// Nil means nominal capacity everywhere.
+	CapScale []float64
 }
 
 // Covered reports whether device i can currently use station k.
 func (s *State) Covered(i, k int) bool {
 	return s.Channels[i][k] > 0
+}
+
+// Down reports whether server n is advisorily drained this slot. Out-of-
+// range indices and a nil ServerDown read as up.
+func (s *State) Down(n int) bool {
+	return n >= 0 && n < len(s.ServerDown) && s.ServerDown[n]
+}
+
+// Cap returns server n's capacity scale this slot (1 when CapScale is nil
+// or the index is out of range). Multiplying a capacity by the nominal
+// scale 1 is bit-exact in IEEE 754, so callers may apply it
+// unconditionally without disturbing fault-free results.
+func (s *State) Cap(n int) float64 {
+	if n < 0 || n >= len(s.CapScale) {
+		return 1
+	}
+	return s.CapScale[n]
 }
 
 // Source produces consecutive system states. Implementations are
