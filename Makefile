@@ -51,14 +51,17 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadJSON -fuzztime=15s ./internal/topology/
 	$(GO) test -fuzz=FuzzReadCheckpoint -fuzztime=15s ./internal/core/
 	$(GO) test -fuzz=FuzzParallelEquivalence -fuzztime=15s ./internal/core/
+	$(GO) test -fuzz=FuzzChurnEquivalence -fuzztime=15s ./internal/core/
 	$(GO) test -fuzz=FuzzEngineEquivalence -fuzztime=15s ./internal/game/
 	$(GO) test -fuzz=FuzzSanitizeState -fuzztime=15s ./internal/trace/
 
 # Long fault-injection soak: 10k slots of corrupted traces, outages, and
 # stalls under the race detector (the nightly configuration; see
-# internal/sim/soak_test.go).
+# internal/sim/soak_test.go). The second leg repeats the run with
+# population churn superimposed on the fault stream.
 soak:
 	FAULT_SOAK_SLOTS=10000 $(GO) test -race -run TestFaultSoak -count=1 -v ./internal/sim/
+	FAULT_SOAK_SLOTS=10000 FAULT_SOAK_CHURN=1 $(GO) test -race -run TestFaultSoak -count=1 -v ./internal/sim/
 
 # Full benchmark sweep with allocation stats (minutes). The raw benchstat
 # stream lands in bench.out and a machine-readable BENCH_<rev>.json next

@@ -5,6 +5,15 @@
 // goarch, cpu, pkg) are folded into the header, everything else passes
 // through untouched in each entry's Raw field.
 //
+// It also diffs two archived reports:
+//
+//	benchjson -compare BENCH_old.json,BENCH_new.json -threshold 1.25
+//
+// prints a per-benchmark ratio table (new/old ns/op for benchmarks present
+// in both) and exits non-zero when any common benchmark regressed past the
+// threshold. Machines differ across CI runs, so the compare is advisory —
+// CI runs it without gating the build.
+//
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem ./internal/... | benchjson -rev abc1234 -out BENCH_abc1234.json
@@ -63,7 +72,21 @@ type Report struct {
 func main() {
 	rev := flag.String("rev", "unknown", "revision identifier recorded in the report")
 	out := flag.String("out", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "compare two archived reports: old.json,new.json (skips stdin conversion)")
+	threshold := flag.Float64("threshold", 1.25, "with -compare, exit non-zero when any common benchmark's new/old ns/op ratio exceeds this")
 	flag.Parse()
+
+	if *compare != "" {
+		regressed, err := runCompare(os.Stdout, *compare, *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(2)
+		}
+		return
+	}
 
 	report, err := parse(os.Stdin, *rev)
 	if err != nil {
@@ -126,6 +149,70 @@ func parse(r io.Reader, rev string) (*Report, error) {
 		return nil, fmt.Errorf("no benchmark lines on input")
 	}
 	return report, nil
+}
+
+// runCompare loads "old.json,new.json", prints a ratio table of the
+// benchmarks common to both, and reports whether any ratio exceeded the
+// threshold. Benchmarks present on only one side are listed but never
+// regress the result.
+func runCompare(w io.Writer, spec string, threshold float64) (regressed bool, err error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return false, fmt.Errorf("-compare wants old.json,new.json, got %q", spec)
+	}
+	oldRep, err := loadReport(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return false, err
+	}
+	newRep, err := loadReport(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return false, err
+	}
+	oldNs := make(map[string]float64, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldNs[fmt.Sprintf("%s-%d", b.Name, b.Procs)] = b.NsPerOp
+	}
+	fmt.Fprintf(w, "comparing %s (%s) -> %s (%s), threshold %.2fx\n",
+		parts[0], oldRep.Rev, parts[1], newRep.Rev, threshold)
+	common := 0
+	for _, b := range newRep.Benchmarks {
+		key := fmt.Sprintf("%s-%d", b.Name, b.Procs)
+		prev, ok := oldNs[key]
+		if !ok {
+			fmt.Fprintf(w, "  %-60s new benchmark (%.0f ns/op)\n", key, b.NsPerOp)
+			continue
+		}
+		common++
+		delete(oldNs, key)
+		ratio := b.NsPerOp / prev
+		mark := ""
+		if ratio > threshold {
+			mark = "  REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(w, "  %-60s %.0f -> %.0f ns/op (%.2fx)%s\n", key, prev, b.NsPerOp, ratio, mark)
+	}
+	for key := range oldNs {
+		fmt.Fprintf(w, "  %-60s removed\n", key)
+	}
+	if common == 0 {
+		fmt.Fprintln(w, "  no common benchmarks")
+	}
+	return regressed, nil
+}
+
+// loadReport reads one archived benchjson document.
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return &rep, nil
 }
 
 // parseBenchLine decodes one "BenchmarkName-P N v ns/op [v B/op v

@@ -53,6 +53,7 @@ func run(args []string) error {
 		slotDL     = fs.Duration("slot-deadline", 0, "per-slot wall-clock budget for the solver (0 = none); expired slots fall down the degradation ladder (see OPERATIONS.md)")
 		slotChecks = fs.Int("slot-checks", 0, "per-slot solver checkpoint budget (0 = none); deterministic alternative to -slot-deadline")
 		faultsOn   = fs.Bool("faults", false, "inject seeded faults (trace corruption, outages, capacity loss, solver stalls) with the soak profile; repairs via trace.Sanitizer stay on")
+		churn      = fs.Float64("churn", 0, "population churn intensity: scales the default join/leave/handover/server-event probabilities (0 = fixed population, 1 = default regime)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -135,7 +136,14 @@ func run(args []string) error {
 		}
 	}
 
-	src, inj, err := applyRobustness(ctrl, gen, *slotDL, *slotChecks, *faultsOn, *seed)
+	var base trace.Source = gen
+	if *churn > 0 {
+		base, err = trace.NewChurnSchedule(scaledChurn(*churn, *seed), sc.Net, gen)
+		if err != nil {
+			return err
+		}
+	}
+	src, inj, err := applyRobustness(ctrl, base, *slotDL, *slotChecks, *faultsOn, *seed)
 	if err != nil {
 		return err
 	}
@@ -186,7 +194,34 @@ func run(args []string) error {
 	if inj != nil {
 		fmt.Printf("faults injected:   %d\n", inj.Injections())
 	}
+	if *churn > 0 {
+		events := 0
+		for _, c := range res.ChurnEvents {
+			events += c
+		}
+		fmt.Printf("churn events:      %d across %d slots (final population %d devices, %d servers)\n",
+			events, *slots, res.ActiveDevices[len(res.ActiveDevices)-1], res.ActiveServers[len(res.ActiveServers)-1])
+	}
 	return nil
+}
+
+// scaledChurn returns the default churn regime with every event
+// probability multiplied by intensity (clamped to 1).
+func scaledChurn(intensity float64, seed int64) trace.ChurnConfig {
+	cfg := trace.DefaultChurnConfig(seed)
+	clamp := func(p float64) float64 {
+		p *= intensity
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	cfg.DeviceJoinProb = clamp(cfg.DeviceJoinProb)
+	cfg.DeviceLeaveProb = clamp(cfg.DeviceLeaveProb)
+	cfg.HandoverProb = clamp(cfg.HandoverProb)
+	cfg.ServerRemoveProb = clamp(cfg.ServerRemoveProb)
+	cfg.ServerAddProb = clamp(cfg.ServerAddProb)
+	return cfg
 }
 
 // applyRobustness arms the controller's per-slot deadline (when either

@@ -8,7 +8,7 @@
 //	experiments -fig all -format csv   # everything, CSV output
 //
 // Figure IDs: 2–9, ablation-bdma-z, ablation-p2b, ablation-iid,
-// ablation-fronthaul, degrade, all.
+// ablation-fronthaul, degrade, churn, all.
 package main
 
 import (
@@ -32,7 +32,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		figID  = fs.String("fig", "all", "figure to regenerate: 2..9, ablation-bdma-z, ablation-p2b, ablation-iid, ablation-fronthaul, ablation-pivot, degrade, all")
+		figID  = fs.String("fig", "all", "figure to regenerate: 2..9, ablation-bdma-z, ablation-p2b, ablation-iid, ablation-fronthaul, ablation-pivot, degrade, churn, all")
 		scale  = fs.String("scale", "quick", "experiment scale: quick or paper")
 		format = fs.String("format", "table", "output format: table, csv, plot, or markdown")
 		seed   = fs.Int64("seed", 1, "random seed")
@@ -58,7 +58,7 @@ func run(args []string) error {
 	ids := []string{*figID}
 	if *figID == "all" {
 		ids = []string{"2", "3", "4", "5", "6", "7", "8", "9",
-			"ablation-bdma-z", "ablation-p2b", "ablation-iid", "ablation-fronthaul", "ablation-pivot", "ablation-compute-bound", "ablation-seeds", "ablation-flashcrowd", "ablation-per-room", "ablation-stale", "ablation-convergence", "degrade"}
+			"ablation-bdma-z", "ablation-p2b", "ablation-iid", "ablation-fronthaul", "ablation-pivot", "ablation-compute-bound", "ablation-seeds", "ablation-flashcrowd", "ablation-per-room", "ablation-stale", "ablation-convergence", "degrade", "churn"}
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -176,6 +176,8 @@ func build(id string, paper bool, seed int64) (*experiments.Figure, error) {
 		return experiments.AblationConvergence(ablationCfg(paper, seed), nil)
 	case "degrade":
 		return experiments.FigDegrade(ablationCfg(paper, seed), nil)
+	case "churn":
+		return experiments.FigChurn(ablationCfg(paper, seed), nil)
 	default:
 		return nil, fmt.Errorf("unknown figure id %q", id)
 	}

@@ -84,7 +84,7 @@ func (s *System) bdmaScratch(st *trace.State, v, q float64, cfg BDMAConfig, src 
 	if err != nil {
 		return BDMAResult{}, err
 	}
-	best.Theta = s.Theta(best.Freq, st.Price)
+	best.Theta = s.ThetaActive(best.Freq, st.Price, st.ServerActive)
 	return best, nil
 }
 
@@ -148,7 +148,10 @@ func (s *System) bdmaLoop(
 		}
 		var err error
 		if iter == 0 {
-			err = s.BuildP2A(scratch, st, freq)
+			// ApplyChurn re-solves only the population delta against the
+			// previous slot's structure; a fresh scratch falls back to the
+			// full BuildP2A automatically.
+			err = s.ApplyChurn(scratch, st, freq)
 		} else {
 			err = scratch.Reweight(freq)
 		}

@@ -284,13 +284,13 @@ func (c *Controller) StepWithObservation(observed, realized *trace.State) (*Slot
 		}
 		// The violation θ must be re-evaluated at the realized price.
 		if c.rooms != nil {
-			res.RoomThetas = c.sys.RoomThetas(res.Freq, realized.Price)
+			res.RoomThetas = c.sys.RoomThetasActive(res.Freq, realized.Price, realized.ServerActive)
 			res.Theta = 0
 			for _, theta := range res.RoomThetas {
 				res.Theta += theta
 			}
 		} else {
-			res.Theta = c.sys.Theta(res.Freq, realized.Price)
+			res.Theta = c.sys.ThetaActive(res.Freq, realized.Price, realized.ServerActive)
 		}
 	}
 
@@ -300,7 +300,7 @@ func (c *Controller) StepWithObservation(observed, realized *trace.State) (*Slot
 	decision := Decision{Selection: res.Selection, Allocation: alloc, Freq: res.Freq}
 	total, perDevice := c.sys.LatencyOf(decision, realized)
 
-	cost := c.sys.EnergyCost(res.Freq, realized.Price)
+	cost := c.sys.EnergyCostActive(res.Freq, realized.Price, realized.ServerActive)
 	out := &SlotResult{
 		Slot:             c.slot,
 		Decision:         decision,
@@ -344,22 +344,81 @@ func (c *Controller) SetStall(d time.Duration) { c.stall = d }
 
 // repriceDecision is RungPrevious: the previous slot's (x, y, Ω) is reused
 // with the Lemma-1 allocation and the objective recomputed fresh against
-// the current observed state. It fails — sending the ladder to the greedy
-// rung — when no previous decision exists or it is no longer feasible
-// (e.g. a device's chosen station lost coverage this slot).
+// the current observed state. Devices whose previous pair is no longer
+// feasible — the station lost coverage, the server was removed or marked
+// down, or the device itself left — are repaired per device: departed
+// devices are dropped to (-1, -1), and the rest are reassigned to their
+// first feasible (station, server) pair under the current state. It fails
+// — sending the ladder to the greedy rung — only when no previous decision
+// exists or some active device has no feasible pair at all.
 func (c *Controller) repriceDecision(st *trace.State) (BDMAResult, error) {
 	if !c.havePrev {
 		return BDMAResult{}, errors.New("core: no previous decision to reuse")
 	}
-	if err := c.sys.Validate(c.prevSel, st); err != nil {
-		return BDMAResult{}, err
+	sel := c.prevSel.Clone()
+	for i := range sel.Station {
+		if !st.ActiveDevice(i) {
+			sel.Station[i], sel.Server[i] = -1, -1
+			continue
+		}
+		if c.prevPairFeasible(i, st) {
+			continue
+		}
+		k, n, ok := c.sys.firstFeasiblePair(i, st)
+		if !ok {
+			return BDMAResult{}, fmt.Errorf("core: reprice: device %d has no feasible (station, server) pair this slot", i)
+		}
+		sel.Station[i], sel.Server[i] = k, n
 	}
 	res := BDMAResult{
-		Selection: c.prevSel.Clone(),
+		Selection: sel,
 		Freq:      c.prevFreq.Clone(),
 		Degraded:  true,
 	}
 	return c.priceDecision(res, st), nil
+}
+
+// prevPairFeasible reports whether device i's previous (station, server)
+// pair is still usable under st: the station covers the device, the server
+// is structurally present, not marked down, and reachable. A device that
+// was inactive last slot carries (-1, -1) and is never feasible here.
+func (c *Controller) prevPairFeasible(i int, st *trace.State) bool {
+	k, n := c.prevSel.Station[i], c.prevSel.Server[i]
+	if k < 0 || k >= len(c.sys.Net.BaseStations) || n < 0 || n >= len(c.sys.Net.Servers) {
+		return false
+	}
+	if !st.Covered(i, k) || !st.ActiveServer(n) || st.Down(n) {
+		return false
+	}
+	for _, idx := range c.sys.Net.ReachableServers(k) {
+		if idx == n {
+			return true
+		}
+	}
+	return false
+}
+
+// firstFeasiblePair returns the lowest-indexed (station, server) pair
+// feasible for device i under st. Pass 0 honors ServerDown advisories;
+// pass 1 re-admits down-but-present servers, mirroring BuildP2A's
+// degraded-topology policy. ok is false when even pass 1 finds nothing.
+func (s *System) firstFeasiblePair(i int, st *trace.State) (station, server int, ok bool) {
+	stations := len(s.Net.BaseStations)
+	for pass := 0; pass < 2; pass++ {
+		honorDown := pass == 0
+		for k := 0; k < stations; k++ {
+			if !st.Covered(i, k) {
+				continue
+			}
+			for _, n := range s.Net.ReachableServers(k) {
+				if !st.ActiveServer(n) || (honorDown && st.Down(n)) {
+					continue
+				}
+				return k, n, true
+			}
+		}
+	}
+	return -1, -1, false
 }
 
 // greedyDecision is RungGreedy, the ladder's last resort: a deterministic
@@ -387,14 +446,14 @@ func (c *Controller) greedyDecision(st *trace.State) (BDMAResult, error) {
 func (c *Controller) priceDecision(res BDMAResult, st *trace.State) BDMAResult {
 	if c.rooms != nil {
 		res.Objective = c.sys.p2ObjectiveRooms(res.Selection, res.Freq, st, c.dpp.V, c.rooms.Backlogs(), c.pool)
-		res.RoomThetas = c.sys.RoomThetas(res.Freq, st.Price)
+		res.RoomThetas = c.sys.RoomThetasActive(res.Freq, st.Price, st.ServerActive)
 		res.Theta = 0
 		for _, theta := range res.RoomThetas {
 			res.Theta += theta
 		}
 	} else {
 		res.Objective = c.sys.p2Objective(res.Selection, res.Freq, st, c.dpp.V, c.dpp.Queue.Backlog(), c.pool)
-		res.Theta = c.sys.Theta(res.Freq, st.Price)
+		res.Theta = c.sys.ThetaActive(res.Freq, st.Price, st.ServerActive)
 	}
 	res.Latency = c.sys.reducedLatency(res.Selection, res.Freq, st, c.pool).Value()
 	return res
@@ -445,9 +504,13 @@ func (r *SlotResult) Split() (comm, proc units.Seconds) {
 // values below 1 are expected and reflect the heterogeneity of tasks and
 // channels.
 func (r *SlotResult) Fairness() float64 {
-	lat := make([]float64, len(r.PerDevice))
+	lat := make([]float64, 0, len(r.PerDevice))
 	for i, lb := range r.PerDevice {
-		lat[i] = lb.Total().Value()
+		if i < len(r.Decision.Station) && r.Decision.Station[i] < 0 {
+			// Inactive device: no latency to be fair about.
+			continue
+		}
+		lat = append(lat, lb.Total().Value())
 	}
 	return stats.JainIndex(lat)
 }

@@ -197,11 +197,22 @@ func TestRepriceDecision(t *testing.T) {
 	if err := sys.Validate(res.Selection, states[0]); err != nil {
 		t.Errorf("repriced selection infeasible: %v", err)
 	}
-	// If the new slot's coverage invalidates the previous selection, the
-	// reprice must refuse (the ladder then falls to the greedy rung).
-	if sys.Validate(first.Decision.Selection, states[1]) != nil {
-		if _, err := ctrl.repriceDecision(states[1]); err == nil {
-			t.Error("repriceDecision accepted a selection infeasible under the new state")
+	// If the new slot's coverage invalidates part of the previous
+	// selection, the reprice repairs it per device: affected devices move
+	// to their first feasible pair and the result validates under the new
+	// state; unaffected devices keep their previous pair.
+	res, err = ctrl.repriceDecision(states[1])
+	if err != nil {
+		t.Fatalf("repriceDecision failed to repair under the new state: %v", err)
+	}
+	if err := sys.Validate(res.Selection, states[1]); err != nil {
+		t.Errorf("repaired reprice selection infeasible: %v", err)
+	}
+	for i := range res.Selection.Station {
+		if ctrl.prevPairFeasible(i, states[1]) &&
+			(res.Selection.Station[i] != first.Decision.Station[i] ||
+				res.Selection.Server[i] != first.Decision.Server[i]) {
+			t.Errorf("device %d moved off a still-feasible previous pair", i)
 		}
 	}
 }

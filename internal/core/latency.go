@@ -37,6 +37,10 @@ func (s *System) optimalAllocation(sel Selection, st *trace.State, pool *par.Poo
 	accessDen, fronthaulDen, computeDen := sums.access, sums.fronthaul, sums.compute
 	for i := 0; i < devices; i++ {
 		k, n := sel.Station[i], sel.Server[i]
+		if k < 0 {
+			// Inactive device: zero shares.
+			continue
+		}
 		if accessDen[k] > 0 {
 			a.AccessShare[i] = math.Sqrt(st.DataLengths[i].Bits()/st.Channels[i][k].BpsPerHz()) / accessDen[k]
 		}
@@ -74,6 +78,10 @@ func (s *System) LatencyOf(d Decision, st *trace.State) (total units.Seconds, pe
 	perDevice = make([]LatencyBreakdown, devices)
 	for i := 0; i < devices; i++ {
 		k, n := d.Station[i], d.Server[i]
+		if k < 0 {
+			// Inactive device: contributes zero latency.
+			continue
+		}
 		bs := &s.Net.BaseStations[k]
 		srv := &s.Net.Servers[n]
 
@@ -144,4 +152,31 @@ func (s *System) EnergyCost(freq Frequencies, price units.Price) units.Money {
 // Theta evaluates θ(t) = C_t − C̄, the slot's budget violation.
 func (s *System) Theta(freq Frequencies, price units.Price) float64 {
 	return float64(s.EnergyCost(freq, price) - s.Budget)
+}
+
+// EnergyCostActive is EnergyCost restricted to the servers present in the
+// population mask; structurally removed servers draw no power. A nil mask
+// means the full population and delegates to EnergyCost exactly.
+func (s *System) EnergyCostActive(freq Frequencies, price units.Price, active []bool) units.Money {
+	if active == nil {
+		return s.EnergyCost(freq, price)
+	}
+	total := units.Money(0)
+	for n := range s.Net.Servers {
+		if !active[n] {
+			continue
+		}
+		e := units.Over(
+			units.Power(s.Energy[n].Power(freq[n]).Watts()*float64(s.Net.Servers[n].Cores)),
+			units.Seconds(s.SlotSeconds),
+		)
+		total += price.Cost(e)
+	}
+	return total
+}
+
+// ThetaActive is Theta over the active-server population; a nil mask is
+// bit-identical to Theta.
+func (s *System) ThetaActive(freq Frequencies, price units.Price, active []bool) float64 {
+	return float64(s.EnergyCostActive(freq, price, active) - s.Budget)
 }

@@ -69,6 +69,43 @@ func (s *System) RoomThetas(freq Frequencies, price units.Price) map[int]float64
 	return out
 }
 
+// RoomEnergyCostsActive is RoomEnergyCosts restricted to the servers in
+// the population mask. Every room keeps an entry (a room whose servers
+// are all removed costs zero) so per-room virtual queues keep updating
+// across population changes; a nil mask delegates to RoomEnergyCosts.
+func (s *System) RoomEnergyCostsActive(freq Frequencies, price units.Price, active []bool) map[int]units.Money {
+	if active == nil {
+		return s.RoomEnergyCosts(freq, price)
+	}
+	out := make(map[int]units.Money, len(s.Net.Rooms))
+	for _, r := range s.Net.Rooms {
+		out[r.ID] = 0
+	}
+	for n := range s.Net.Servers {
+		if !active[n] {
+			continue
+		}
+		srv := &s.Net.Servers[n]
+		e := units.Over(
+			units.Power(s.Energy[n].Power(freq[n]).Watts()*float64(srv.Cores)),
+			units.Seconds(s.SlotSeconds),
+		)
+		out[srv.Room] += price.Cost(e)
+	}
+	return out
+}
+
+// RoomThetasActive is RoomThetas over the active-server population; a nil
+// mask is bit-identical to RoomThetas.
+func (s *System) RoomThetasActive(freq Frequencies, price units.Price, active []bool) map[int]float64 {
+	costs := s.RoomEnergyCostsActive(freq, price, active)
+	out := make(map[int]float64, len(costs))
+	for room, cost := range costs {
+		out[room] = float64(cost - s.RoomBudgets[room])
+	}
+	return out
+}
+
 // SolveP2BPerRoom solves P2-B with one queue weight per room: server n's
 // energy term is weighted by qByRoom of its hosting room.
 func (s *System) SolveP2BPerRoom(sel Selection, st *trace.State, v float64, qByRoom map[int]float64) (Frequencies, error) {
@@ -85,7 +122,7 @@ func (s *System) P2ObjectiveRooms(sel Selection, freq Frequencies, st *trace.Sta
 // the Lemma-1 accumulation inside the reduced latency.
 func (s *System) p2ObjectiveRooms(sel Selection, freq Frequencies, st *trace.State, v float64, qByRoom map[int]float64, pool *par.Pool) float64 {
 	penalty := 0.0
-	for room, theta := range s.RoomThetas(freq, st.Price) {
+	for room, theta := range s.RoomThetasActive(freq, st.Price, st.ServerActive) {
 		penalty += qByRoom[room] * theta
 	}
 	return v*s.reducedLatency(sel, freq, st, pool).Value() + penalty
@@ -123,7 +160,7 @@ func (s *System) bdmaRoomsScratch(st *trace.State, v float64, qByRoom map[int]fl
 	if err != nil {
 		return BDMAResult{}, err
 	}
-	res.RoomThetas = s.RoomThetas(res.Freq, st.Price)
+	res.RoomThetas = s.RoomThetasActive(res.Freq, st.Price, st.ServerActive)
 	// The scalar Theta reports the aggregate violation for logging.
 	res.Theta = 0
 	for _, theta := range res.RoomThetas {

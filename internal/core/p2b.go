@@ -96,6 +96,11 @@ func (s *System) solveP2B(sel Selection, st *trace.State, v float64, qOf func(se
 		return freq, nil
 	}
 	for n := 0; n < servers; n++ {
+		if !st.ActiveServer(n) {
+			// Removed server: pinned at F^L, carries no load and no cost.
+			freq[n] = s.Net.Servers[n].MinFreq
+			continue
+		}
 		w, steps, solved, err := s.solveP2BServer(n, computeSum[n], st, v, qOf(n))
 		if err != nil {
 			return nil, err
@@ -161,6 +166,10 @@ var p2bTaskPool = sync.Pool{New: func() any { return new(p2bTask) }}
 func (t *p2bTask) Run(shard int) {
 	lo, hi := par.Span(len(t.freq), t.shards, shard)
 	for n := lo; n < hi; n++ {
+		if !t.st.ActiveServer(n) {
+			t.freq[n] = t.sys.Net.Servers[n].MinFreq
+			continue
+		}
 		w, steps, solved, err := t.sys.solveP2BServer(n, t.sums[n], t.st, t.v, t.qOf(n))
 		if err != nil {
 			t.errs[shard] = err
@@ -190,5 +199,5 @@ func (s *System) P2Objective(sel Selection, freq Frequencies, st *trace.State, v
 // p2Objective is P2Objective with an optional pool for the Lemma-1
 // accumulation inside the reduced latency.
 func (s *System) p2Objective(sel Selection, freq Frequencies, st *trace.State, v, q float64, pool *par.Pool) float64 {
-	return v*s.reducedLatency(sel, freq, st, pool).Value() + q*s.Theta(freq, st.Price)
+	return v*s.reducedLatency(sel, freq, st, pool).Value() + q*s.ThetaActive(freq, st.Price, st.ServerActive)
 }

@@ -108,6 +108,11 @@ func (sc *slotSums) accumulate(s *System, sel Selection, st *trace.State, pool *
 	}
 	for i := range sel.Station {
 		k, n := sel.Station[i], sel.Server[i]
+		if k < 0 || n < 0 {
+			// Inactive device: no resource demand. The sharded path skips
+			// these too, because -1 falls outside every shard span.
+			continue
+		}
 		sc.access[k] += math.Sqrt(st.DataLengths[i].Bits() / st.Channels[i][k].BpsPerHz())
 		sc.fronthaul[k] += math.Sqrt(st.DataLengths[i].Bits() / st.FronthaulSE[k].BpsPerHz())
 		sc.compute[n] += math.Sqrt(st.TaskSizes[i].Count() / s.Net.Suitability[i][n])
@@ -122,6 +127,9 @@ func (sc *slotSums) accumulateCompute(s *System, sel Selection, st *trace.State,
 	}
 	for i := range sel.Server {
 		n := sel.Server[i]
+		if n < 0 {
+			continue
+		}
 		sc.compute[n] += math.Sqrt(st.TaskSizes[i].Count() / s.Net.Suitability[i][n])
 	}
 }

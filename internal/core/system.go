@@ -127,6 +127,12 @@ func (s *System) CheckState(st *trace.State) error {
 	if st.ServerDown != nil && len(st.ServerDown) != servers {
 		return fmt.Errorf("core: ServerDown sized %d, system has %d servers", len(st.ServerDown), servers)
 	}
+	if st.DeviceActive != nil && len(st.DeviceActive) != devices {
+		return fmt.Errorf("core: DeviceActive sized %d, system has %d devices", len(st.DeviceActive), devices)
+	}
+	if st.ServerActive != nil && len(st.ServerActive) != servers {
+		return fmt.Errorf("core: ServerActive sized %d, system has %d servers", len(st.ServerActive), servers)
+	}
 	if st.CapScale != nil {
 		if len(st.CapScale) != servers {
 			return fmt.Errorf("core: CapScale sized %d, system has %d servers", len(st.CapScale), servers)
@@ -167,6 +173,12 @@ func (s *System) Validate(sel Selection, st *trace.State) error {
 	}
 	for i := 0; i < devices; i++ {
 		k := sel.Station[i]
+		if !st.ActiveDevice(i) {
+			if k != -1 || sel.Server[i] != -1 {
+				return fmt.Errorf("core: inactive device %d selects (%d, %d), want (-1, -1)", i, k, sel.Server[i])
+			}
+			continue
+		}
 		if k < 0 || k >= len(s.Net.BaseStations) {
 			return fmt.Errorf("core: device %d selects station %d of %d", i, k, len(s.Net.BaseStations))
 		}
@@ -176,6 +188,9 @@ func (s *System) Validate(sel Selection, st *trace.State) error {
 		n := sel.Server[i]
 		if n < 0 || n >= servers {
 			return fmt.Errorf("core: device %d selects server %d of %d", i, n, servers)
+		}
+		if !st.ActiveServer(n) {
+			return fmt.Errorf("core: device %d selects removed server %d", i, n)
 		}
 		reachable := false
 		for _, idx := range s.Net.ReachableServers(k) {
@@ -262,6 +277,10 @@ func (s *System) ValidateAllocation(sel Selection, a Allocation) error {
 	fronthaulSum := make([]float64, len(s.Net.BaseStations))
 	computeSum := make([]float64, len(s.Net.Servers))
 	for i := 0; i < devices; i++ {
+		if sel.Station[i] < 0 {
+			// Inactive device: carries no shares.
+			continue
+		}
 		for name, v := range map[string]float64{
 			"access": a.AccessShare[i], "fronthaul": a.FronthaulShare[i], "compute": a.ComputeShare[i],
 		} {

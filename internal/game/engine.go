@@ -68,6 +68,19 @@ type Engine struct {
 	// (feasible) iterate with Result.Truncated set. Nil never expires,
 	// so the undeadlined path is unchanged (see SetDeadline).
 	deadline *solver.Deadline
+
+	// Mutation scratch (see mutate.go): double buffers for the per-player
+	// state permutation of ApplyMutation, the touched-resource set of
+	// PrepareMutation, and whether the prepare step found a usable
+	// profile to maintain loads through.
+	mutProfile Profile
+	mutDirty   []bool
+	mutCur     []float64
+	mutBr      []float64
+	mutStrat   []int32
+	mutTouched []int32
+	mutSeen    []bool
+	mutOK      bool
 }
 
 // NewEngine returns an Engine bound to g with all caches invalid.

@@ -105,6 +105,17 @@ type Builder struct {
 	seenPlayer   []int32
 	// incCursor is the fill cursor per resource while building incidence.
 	incCursor []int32
+
+	// Spare arena: the double buffer mutations stream into. Commit swaps
+	// it with the live arena, so the displaced arrays become the free
+	// buffer for the next mutation (see mutate.go).
+	spareUses   []use
+	spareUseOff []int32
+	spareStrOff []int32
+
+	// mut is the Builder-owned Mutation BeginMutation recycles, so the
+	// churn hot path allocates nothing per slot.
+	mut Mutation
 }
 
 // NewBuilder returns an empty Builder.

@@ -66,6 +66,9 @@ type Metrics struct {
 	SolverIterations []int           // P2-A work per slot
 	DecisionTime     []time.Duration // wall clock per slot
 	Rung             []int           // fallback-ladder rung (0 = full solve)
+	ActiveDevices    []int           // population size after the slot's churn
+	ActiveServers    []int           // servers present after the slot's churn
+	ChurnEvents      []int           // churn events applied this slot
 
 	// PerDevice[t][i] is device i's latency at slot t; non-nil only when
 	// Config.RecordPerDevice was set.
@@ -142,7 +145,7 @@ func (m *Metrics) WindowAvgLatency(window int) []float64 {
 
 // WriteCSV streams the per-slot series as CSV.
 func (m *Metrics) WriteCSV(w io.Writer) error {
-	if _, err := io.WriteString(w, "slot,latency_s,cost_usd,theta,backlog,price_mwh,solver_iters,decision_us,degraded,rung\n"); err != nil {
+	if _, err := io.WriteString(w, "slot,latency_s,cost_usd,theta,backlog,price_mwh,solver_iters,decision_us,degraded,rung,active_devices,active_servers,churn_events\n"); err != nil {
 		return err
 	}
 	for i := range m.Latency {
@@ -159,7 +162,10 @@ func (m *Metrics) WriteCSV(w io.Writer) error {
 			strconv.Itoa(m.SolverIterations[i]) + "," +
 			strconv.FormatInt(m.DecisionTime[i].Microseconds(), 10) + "," +
 			strconv.Itoa(degraded) + "," +
-			strconv.Itoa(m.Rung[i]) + "\n"
+			strconv.Itoa(m.Rung[i]) + "," +
+			strconv.Itoa(m.ActiveDevices[i]) + "," +
+			strconv.Itoa(m.ActiveServers[i]) + "," +
+			strconv.Itoa(m.ChurnEvents[i]) + "\n"
 		if _, err := io.WriteString(w, row); err != nil {
 			return err
 		}
@@ -209,6 +215,9 @@ func newMetrics(ctrl *core.Controller, cfg Config) *Metrics {
 		SolverIterations: make([]int, 0, cfg.Slots),
 		DecisionTime:     make([]time.Duration, 0, cfg.Slots),
 		Rung:             make([]int, 0, cfg.Slots),
+		ActiveDevices:    make([]int, 0, cfg.Slots),
+		ActiveServers:    make([]int, 0, cfg.Slots),
+		ChurnEvents:      make([]int, 0, cfg.Slots),
 		recordPerDevice:  cfg.RecordPerDevice,
 	}
 }
@@ -232,6 +241,10 @@ func (m *Metrics) step(ctrl *core.Controller, src trace.Source, s int) error {
 	m.SolverIterations = append(m.SolverIterations, res.SolverIterations)
 	m.DecisionTime = append(m.DecisionTime, res.Elapsed)
 	m.Rung = append(m.Rung, res.Rung)
+	_, _, servers, devices := ctrl.System().Net.Counts()
+	m.ActiveDevices = append(m.ActiveDevices, st.ActiveDevices(devices))
+	m.ActiveServers = append(m.ActiveServers, st.ActiveServers(servers))
+	m.ChurnEvents = append(m.ChurnEvents, len(st.Churn))
 	if m.recordPerDevice {
 		row := make([]float64, len(res.PerDevice))
 		for i, lb := range res.PerDevice {

@@ -34,7 +34,8 @@ func soakSlots(t *testing.T) int {
 // slot, Q(t) finite throughout, and the decision stream still moving
 // (degraded slots happen but do not take over permanently once faults
 // allow recovery). This is the nightly soak leg; FAULT_SOAK_SLOTS=10000
-// selects the long run.
+// selects the long run, and FAULT_SOAK_CHURN=1 superimposes population
+// churn (joins, leaves, handovers, server add/remove) under the faults.
 func TestFaultSoak(t *testing.T) {
 	slots := soakSlots(t)
 	sys, gen := buildFixture(t, 24, 77)
@@ -46,8 +47,18 @@ func TestFaultSoak(t *testing.T) {
 	// hour-long stalls forces real deadline misses without sleeping.
 	ctrl.SetSlotDeadline(5*time.Second, 0)
 
+	// Churn sits between the raw source and the fault injector, exactly
+	// as Job wires it: faults corrupt the churned states.
+	var src trace.Source = gen
+	if os.Getenv("FAULT_SOAK_CHURN") != "" {
+		src, err = trace.NewChurnSchedule(trace.DefaultChurnConfig(31), sys.Net, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
 	cfg := faults.DefaultConfig(123)
-	inj, err := faults.NewInjector(cfg, len(sys.Net.Servers), gen)
+	inj, err := faults.NewInjector(cfg, len(sys.Net.Servers), src)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -36,6 +36,12 @@ type Job struct {
 	// trace.Sanitizer on top) and attaches the injector's stall channel to
 	// the controller. See the faults package for the fault model.
 	Faults *faults.Config
+	// Churn, when non-nil, wraps the job's source in a deterministic
+	// population process (trace.ChurnSchedule): device joins and leaves,
+	// forced handovers, and server add/remove events. The churn layer sits
+	// between the raw source and the fault injector, so faults act on the
+	// churned states.
+	Churn *trace.ChurnConfig
 }
 
 // JobResult pairs a job's name with its metrics and, when the job was
@@ -131,6 +137,12 @@ func runJob(job Job, out *JobResult, pool *par.Pool) error {
 	src, err := job.Source()
 	if err != nil {
 		return err
+	}
+	if job.Churn != nil {
+		src, err = trace.NewChurnSchedule(*job.Churn, ctrl.System().Net, src)
+		if err != nil {
+			return err
+		}
 	}
 	if job.Faults != nil {
 		inj, err := faults.NewInjector(*job.Faults, len(ctrl.System().Net.Servers), src)

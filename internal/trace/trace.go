@@ -64,6 +64,24 @@ type State struct {
 	// is left at the nominal model (a degraded server still burns power).
 	// Nil means nominal capacity everywhere.
 	CapScale []float64
+
+	// DeviceActive, when non-nil, marks which devices of the fixed
+	// topology universe participate this slot (churn: joins and leaves).
+	// An inactive device offloads nothing, contributes no latency, and
+	// must carry the (-1, -1) selection. Nil means every device active.
+	DeviceActive []bool
+
+	// ServerActive, when non-nil, marks which servers structurally exist
+	// this slot (churn: ServerAdd/ServerRemove). Unlike the advisory
+	// ServerDown drain, an inactive server is removed from the model: no
+	// P2-A pair may target it, no device may select it, and it draws no
+	// energy. Nil means every server present.
+	ServerActive []bool
+
+	// Churn lists the population events applied when producing this slot
+	// relative to the previous one (observability for sweeps and logs).
+	// Nil means no churn occurred.
+	Churn []ChurnEvent
 }
 
 // Covered reports whether device i can currently use station k.
@@ -86,6 +104,49 @@ func (s *State) Cap(n int) float64 {
 		return 1
 	}
 	return s.CapScale[n]
+}
+
+// ActiveDevice reports whether device i participates this slot. Out-of-
+// range indices and a nil DeviceActive read as active, so fault-free
+// fixed-population states behave exactly as before the churn model.
+func (s *State) ActiveDevice(i int) bool {
+	return i < 0 || i >= len(s.DeviceActive) || s.DeviceActive[i]
+}
+
+// ActiveServer reports whether server n structurally exists this slot.
+// Out-of-range indices and a nil ServerActive read as present.
+func (s *State) ActiveServer(n int) bool {
+	return n < 0 || n >= len(s.ServerActive) || s.ServerActive[n]
+}
+
+// ActiveDevices returns the number of participating devices given the
+// universe size, counting every device when DeviceActive is nil.
+func (s *State) ActiveDevices(universe int) int {
+	if s.DeviceActive == nil {
+		return universe
+	}
+	active := 0
+	for _, a := range s.DeviceActive {
+		if a {
+			active++
+		}
+	}
+	return active
+}
+
+// ActiveServers returns the number of present servers given the universe
+// size, counting every server when ServerActive is nil.
+func (s *State) ActiveServers(universe int) int {
+	if s.ServerActive == nil {
+		return universe
+	}
+	active := 0
+	for _, a := range s.ServerActive {
+		if a {
+			active++
+		}
+	}
+	return active
 }
 
 // Source produces consecutive system states. Implementations are
