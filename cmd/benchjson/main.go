@@ -12,7 +12,16 @@
 // prints a per-benchmark ratio table (new/old ns/op for benchmarks present
 // in both) and exits non-zero when any common benchmark regressed past the
 // threshold. Machines differ across CI runs, so the compare is advisory —
-// CI runs it without gating the build.
+// CI's informational bench job runs it without gating the build.
+//
+// The gating mode layers a hard budget on top of the same compare:
+//
+//	benchjson -compare old.json,new.json -max-regress 0.15 -gate 'ControllerStep|CGBA'
+//
+// fails (exit 2) when any common benchmark matching -gate regressed more
+// than 15% in ns/op, or allocated more per op at all (allocs/op is
+// machine-independent, so its budget is zero). CI's bench-gate job runs
+// this against the newest committed BENCH_<rev>.json baseline.
 //
 // Usage:
 //
@@ -26,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -74,10 +84,17 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	compare := flag.String("compare", "", "compare two archived reports: old.json,new.json (skips stdin conversion)")
 	threshold := flag.Float64("threshold", 1.25, "with -compare, exit non-zero when any common benchmark's new/old ns/op ratio exceeds this")
+	maxRegress := flag.Float64("max-regress", 0, "with -compare, gate hard: fail when a -gate benchmark regressed more than this fraction in ns/op (e.g. 0.15 = 15%) or added any allocs/op; 0 keeps the advisory -threshold mode")
+	gate := flag.String("gate", "ControllerStep|CGBA", "with -max-regress, regexp selecting the gated benchmark names")
 	flag.Parse()
 
 	if *compare != "" {
-		regressed, err := runCompare(os.Stdout, *compare, *threshold)
+		gateRE, err := regexp.Compile(*gate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -gate:", err)
+			os.Exit(1)
+		}
+		regressed, err := runCompare(os.Stdout, *compare, *threshold, *maxRegress, gateRE)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -152,10 +169,15 @@ func parse(r io.Reader, rev string) (*Report, error) {
 }
 
 // runCompare loads "old.json,new.json", prints a ratio table of the
-// benchmarks common to both, and reports whether any ratio exceeded the
-// threshold. Benchmarks present on only one side are listed but never
-// regress the result.
-func runCompare(w io.Writer, spec string, threshold float64) (regressed bool, err error) {
+// benchmarks common to both, and reports whether anything regressed.
+// With maxRegress == 0 it is the advisory mode: any common benchmark
+// whose ns/op ratio exceeds threshold regresses the result. With
+// maxRegress > 0 it is the gating mode: only benchmarks matching gateRE
+// are budgeted — more than maxRegress fractional ns/op growth, or any
+// allocs/op growth (allocation counts are machine-independent), fails.
+// Benchmarks present on only one side are listed but never regress the
+// result.
+func runCompare(w io.Writer, spec string, threshold, maxRegress float64, gateRE *regexp.Regexp) (regressed bool, err error) {
 	parts := strings.Split(spec, ",")
 	if len(parts) != 2 {
 		return false, fmt.Errorf("-compare wants old.json,new.json, got %q", spec)
@@ -168,31 +190,50 @@ func runCompare(w io.Writer, spec string, threshold float64) (regressed bool, er
 	if err != nil {
 		return false, err
 	}
-	oldNs := make(map[string]float64, len(oldRep.Benchmarks))
+	oldBy := make(map[string]Benchmark, len(oldRep.Benchmarks))
 	for _, b := range oldRep.Benchmarks {
-		oldNs[fmt.Sprintf("%s-%d", b.Name, b.Procs)] = b.NsPerOp
+		oldBy[fmt.Sprintf("%s-%d", b.Name, b.Procs)] = b
 	}
-	fmt.Fprintf(w, "comparing %s (%s) -> %s (%s), threshold %.2fx\n",
-		parts[0], oldRep.Rev, parts[1], newRep.Rev, threshold)
+	if maxRegress > 0 {
+		fmt.Fprintf(w, "comparing %s (%s) -> %s (%s), gating %q at +%.0f%% ns/op, +0 allocs/op\n",
+			parts[0], oldRep.Rev, parts[1], newRep.Rev, gateRE, 100*maxRegress)
+	} else {
+		fmt.Fprintf(w, "comparing %s (%s) -> %s (%s), threshold %.2fx\n",
+			parts[0], oldRep.Rev, parts[1], newRep.Rev, threshold)
+	}
 	common := 0
 	for _, b := range newRep.Benchmarks {
 		key := fmt.Sprintf("%s-%d", b.Name, b.Procs)
-		prev, ok := oldNs[key]
+		prev, ok := oldBy[key]
 		if !ok {
 			fmt.Fprintf(w, "  %-60s new benchmark (%.0f ns/op)\n", key, b.NsPerOp)
 			continue
 		}
 		common++
-		delete(oldNs, key)
-		ratio := b.NsPerOp / prev
+		delete(oldBy, key)
+		ratio := b.NsPerOp / prev.NsPerOp
 		mark := ""
-		if ratio > threshold {
+		switch {
+		case maxRegress > 0:
+			if !gateRE.MatchString(b.Name) {
+				mark = "  (ungated)"
+				break
+			}
+			if ratio > 1+maxRegress {
+				mark = "  REGRESSED (ns/op)"
+				regressed = true
+			}
+			if prev.Benchmem && b.Benchmem && b.AllocsPerOp > prev.AllocsPerOp {
+				mark += fmt.Sprintf("  REGRESSED (allocs/op %.0f -> %.0f)", prev.AllocsPerOp, b.AllocsPerOp)
+				regressed = true
+			}
+		case ratio > threshold:
 			mark = "  REGRESSED"
 			regressed = true
 		}
-		fmt.Fprintf(w, "  %-60s %.0f -> %.0f ns/op (%.2fx)%s\n", key, prev, b.NsPerOp, ratio, mark)
+		fmt.Fprintf(w, "  %-60s %.0f -> %.0f ns/op (%.2fx)%s\n", key, prev.NsPerOp, b.NsPerOp, ratio, mark)
 	}
-	for key := range oldNs {
+	for key := range oldBy {
 		fmt.Fprintf(w, "  %-60s removed\n", key)
 	}
 	if common == 0 {

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -48,6 +52,76 @@ func TestParse(t *testing.T) {
 func TestParseRejectsEmptyInput(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\n"), "x"); err == nil {
 		t.Error("benchmark-free input accepted")
+	}
+}
+
+// writeReport marshals a Report into dir and returns its path.
+func writeReport(t *testing.T, dir, name string, rep Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareMaxRegress covers the gating mode's budget arithmetic: the
+// ns/op fraction, the zero allocs/op budget, and the gate filter.
+func TestCompareMaxRegress(t *testing.T) {
+	base := Report{Rev: "old", Benchmarks: []Benchmark{
+		{Name: "BenchmarkControllerStep/devices=300", Procs: 8, NsPerOp: 1000, AllocsPerOp: 5, Benchmem: true},
+		{Name: "BenchmarkCGBA", Procs: 8, NsPerOp: 500, AllocsPerOp: 2, Benchmem: true},
+		{Name: "BenchmarkSolveP2B", Procs: 8, NsPerOp: 100},
+	}}
+	gate := regexp.MustCompile("ControllerStep|CGBA")
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", base)
+
+	cases := []struct {
+		name      string
+		mutate    func(*Benchmark)
+		regressed bool
+	}{
+		{"within budget", func(b *Benchmark) { b.NsPerOp *= 1.10 }, false},
+		{"ns/op over budget", func(b *Benchmark) { b.NsPerOp *= 1.20 }, true},
+		{"any alloc growth", func(b *Benchmark) { b.AllocsPerOp++ }, true},
+		{"improvement", func(b *Benchmark) { b.NsPerOp *= 0.5 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := base
+			rep.Rev = "new"
+			rep.Benchmarks = append([]Benchmark(nil), base.Benchmarks...)
+			tc.mutate(&rep.Benchmarks[0])
+			newPath := writeReport(t, dir, "new.json", rep)
+			var out strings.Builder
+			got, err := runCompare(&out, oldPath+","+newPath, 1.25, 0.15, gate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.regressed {
+				t.Errorf("regressed = %v, want %v\n%s", got, tc.regressed, out.String())
+			}
+		})
+	}
+
+	// An ungated benchmark may regress arbitrarily without failing the
+	// gate; the advisory mode (maxRegress 0) still catches it.
+	rep := base
+	rep.Rev = "new"
+	rep.Benchmarks = append([]Benchmark(nil), base.Benchmarks...)
+	rep.Benchmarks[2].NsPerOp *= 10
+	newPath := writeReport(t, dir, "ungated.json", rep)
+	var out strings.Builder
+	if got, err := runCompare(&out, oldPath+","+newPath, 1.25, 0.15, gate); err != nil || got {
+		t.Errorf("ungated regression gated: regressed=%v err=%v\n%s", got, err, out.String())
+	}
+	if got, err := runCompare(&out, oldPath+","+newPath, 1.25, 0, gate); err != nil || !got {
+		t.Errorf("advisory mode missed a 10x regression: regressed=%v err=%v", got, err)
 	}
 }
 

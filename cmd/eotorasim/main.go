@@ -54,6 +54,8 @@ func run(args []string) error {
 		slotChecks = fs.Int("slot-checks", 0, "per-slot solver checkpoint budget (0 = none); deterministic alternative to -slot-deadline")
 		faultsOn   = fs.Bool("faults", false, "inject seeded faults (trace corruption, outages, capacity loss, solver stalls) with the soak profile; repairs via trace.Sanitizer stay on")
 		churn      = fs.Float64("churn", 0, "population churn intensity: scales the default join/leave/handover/server-event probabilities (0 = fixed population, 1 = default regime)")
+		shortlist  = fs.Int("shortlist", 0, "CGBA best-response shortlist width k (0 = library default, -1 = exact unpruned path; see OPERATIONS.md)")
+		failDegrad = fs.Bool("fail-degraded", false, "exit non-zero if any slot was decided below RungFull (degradation ladder engaged); the scale-smoke CI gate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,6 +106,12 @@ func run(args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+
+	if *shortlist != 0 {
+		if err := ctrl.SetShortlist(*shortlist); err != nil {
+			return err
+		}
 	}
 
 	reg, err := attachObs(ctrl, *metrics, *obsOut)
@@ -173,8 +181,23 @@ func run(args []string) error {
 		}
 	}
 
+	// The degradation gate runs after outputs are written so a failing
+	// CI run still ships its diagnostics.
+	degradedGate := func() error {
+		if !*failDegrad {
+			return nil
+		}
+		if d := res.DegradedSlots(); d > 0 {
+			return fmt.Errorf("%d of %d slots decided below RungFull (-fail-degraded)", d, *slots)
+		}
+		return nil
+	}
+
 	if *csv {
-		return res.WriteCSV(os.Stdout)
+		if err := res.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+		return degradedGate()
 	}
 
 	k, m, n, i := sc.Net.Counts()
@@ -202,7 +225,7 @@ func run(args []string) error {
 		fmt.Printf("churn events:      %d across %d slots (final population %d devices, %d servers)\n",
 			events, *slots, res.ActiveDevices[len(res.ActiveDevices)-1], res.ActiveServers[len(res.ActiveServers)-1])
 	}
-	return nil
+	return degradedGate()
 }
 
 // scaledChurn returns the default churn regime with every event

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"eotora/internal/game"
 	"eotora/internal/par"
 	"eotora/internal/rng"
 	"eotora/internal/solver"
@@ -139,6 +140,7 @@ func (s *System) bdmaLoop(
 	best := BDMAResult{Objective: math.Inf(1)}
 	bestRound := 0
 	rounds := 0
+	var warm game.Profile
 	for iter := 0; iter < iters; iter++ {
 		// Round-boundary checkpoint: one poll per round, so counted
 		// budgets degrade identically at every pool size.
@@ -158,10 +160,23 @@ func (s *System) bdmaLoop(
 		if err != nil {
 			return BDMAResult{}, fmt.Errorf("core: BDMA round %d: %w", iter, err)
 		}
-		res, err := p2aSolver.Solve(scratch, src)
-		if err != nil {
-			return BDMAResult{}, fmt.Errorf("core: BDMA round %d (%s): %w", iter, p2aSolver.Name(), err)
+		// Rounds after the first warm-start from the previous round's
+		// profile when the solver supports it: only the compute weights
+		// changed since, so the old equilibrium is a near-equilibrium of
+		// the new game and the best-response transient collapses. The warm
+		// profile never crosses a slot boundary — churned and rebuilt
+		// instances run the same rounds on the same inputs.
+		var res game.Result
+		var err2 error
+		if ws, ok := p2aSolver.(warmStartSolver); ok && warm != nil {
+			res, err2 = ws.SolveFrom(scratch, warm, src)
+		} else {
+			res, err2 = p2aSolver.Solve(scratch, src)
 		}
+		if err2 != nil {
+			return BDMAResult{}, fmt.Errorf("core: BDMA round %d (%s): %w", iter, p2aSolver.Name(), err2)
+		}
+		warm = res.Profile
 		best.SolverIterations += res.Iterations
 		sel := scratch.Selection(res.Profile)
 

@@ -202,6 +202,21 @@ func (c *Controller) SetPool(p *par.Pool) {
 // Pool returns the pool attached with SetPool, or nil.
 func (c *Controller) Pool() *par.Pool { return c.pool }
 
+// SetShortlist overrides the CGBA best-response shortlist width for this
+// controller's slot solves (see game.CGBAConfig.Shortlist: 0 keeps the
+// game package's default, game.ShortlistFull forces the exact path).
+// It errors when the controller's P2-A solver is not CGBA — the knob has
+// no meaning for the MCBA/ROPT baselines.
+func (c *Controller) SetShortlist(k int) error {
+	s, ok := c.cfg.BDMA.Solver.(CGBASolver)
+	if !ok {
+		return fmt.Errorf("core: shortlist width applies to the CGBA solver, not %s", c.SolverName())
+	}
+	s.Shortlist = k
+	c.cfg.BDMA.Solver = s
+	return nil
+}
+
 // SolverName identifies the P2-A solver driving this controller
 // ("CGBA" for the paper's algorithm, "MCBA"/"ROPT" for baselines).
 func (c *Controller) SolverName() string {

@@ -654,6 +654,17 @@ type P2ASolver interface {
 	Solve(p *P2A, src *rng.Source) (game.Result, error)
 }
 
+// warmStartSolver is implemented by P2A solvers whose dynamics can be
+// seeded from a feasible profile. BDMA's alternation uses it for rounds
+// after the first: round r−1's equilibrium usually sits near round r's
+// (only the compute weights moved), so re-solving from it instead of a
+// fresh random profile collapses the best-response transient. The warm
+// profile comes from the same bdmaLoop call, never from a previous slot,
+// so churned and freshly built instances see identical inputs.
+type warmStartSolver interface {
+	SolveFrom(p *P2A, initial game.Profile, src *rng.Source) (game.Result, error)
+}
+
 // CGBASolver is the paper's Algorithm 3.
 type CGBASolver struct {
 	// Lambda is the λ tolerance in [0, 0.125).
@@ -663,9 +674,15 @@ type CGBASolver struct {
 	// Pivot selects the mover rule; the zero value is the paper's
 	// max-improvement rule.
 	Pivot game.PivotRule
+	// Shortlist is the top-k best-response pruning width, forwarded to
+	// game.CGBAConfig.Shortlist: 0 = the game package's default,
+	// game.ShortlistFull = the exact (unpruned, bit-identical-to-seed)
+	// path, positive = that width. See OPERATIONS.md for tuning.
+	Shortlist int
 }
 
 var _ P2ASolver = CGBASolver{}
+var _ warmStartSolver = CGBASolver{}
 
 // Name implements P2ASolver.
 func (c CGBASolver) Name() string { return "CGBA" }
@@ -673,11 +690,23 @@ func (c CGBASolver) Name() string { return "CGBA" }
 // Solve implements P2ASolver. It runs on the instance's persistent
 // engine, so repeated solves of the same P2A reuse caches and scratch.
 func (c CGBASolver) Solve(p *P2A, src *rng.Source) (game.Result, error) {
-	return p.Engine().CGBA(game.CGBAConfig{
+	return p.Engine().CGBA(c.config(nil), src)
+}
+
+// SolveFrom implements warmStartSolver: Solve seeded with an initial
+// profile instead of a random one.
+func (c CGBASolver) SolveFrom(p *P2A, initial game.Profile, src *rng.Source) (game.Result, error) {
+	return p.Engine().CGBA(c.config(initial), src)
+}
+
+func (c CGBASolver) config(initial game.Profile) game.CGBAConfig {
+	return game.CGBAConfig{
 		Lambda:        c.Lambda,
 		MaxIterations: c.MaxIterations,
 		Pivot:         c.Pivot,
-	}, src)
+		Shortlist:     c.Shortlist,
+		Initial:       initial,
+	}
 }
 
 // MCBASolver is the Markov chain Monte Carlo baseline [36].

@@ -162,8 +162,9 @@ func TestProfileLookupRoundTrip(t *testing.T) {
 }
 
 // TestBDMAGoldenSeed pins the full BDMA alternation — Builder-based P2A
-// reuse, Reweight rounds, engine-backed CGBA, pooled scratch — to values
-// captured from the seed implementation.
+// reuse, Reweight rounds, engine-backed CGBA, pooled scratch — to captured
+// values. Re-captured when the shortlist fast path and round warm-starting
+// landed (same equilibrium as the seed here, reached in fewer steps).
 func TestBDMAGoldenSeed(t *testing.T) {
 	sys, gen := buildSystem(t, 14, 33)
 	st := gen.Next()
@@ -177,8 +178,8 @@ func TestBDMAGoldenSeed(t *testing.T) {
 	if bits := math.Float64bits(res.Latency); bits != 0x3fd593a8c5000954 {
 		t.Errorf("latency bits %#x, want 0x3fd593a8c5000954", bits)
 	}
-	if res.SolverIterations != 23 {
-		t.Errorf("solver iterations %d, want 23", res.SolverIterations)
+	if res.SolverIterations != 7 {
+		t.Errorf("solver iterations %d, want 7", res.SolverIterations)
 	}
 	wantStation := []int{0, 1, 1, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 1}
 	wantServer := []int{2, 3, 3, 2, 3, 3, 3, 3, 3, 2, 2, 3, 3, 3}
@@ -190,7 +191,9 @@ func TestBDMAGoldenSeed(t *testing.T) {
 }
 
 // TestControllerGoldenSeed pins 12 controller slots (per-slot derived RNG,
-// persistent P2A scratch, queue updates) to seed-captured aggregates.
+// persistent P2A scratch, queue updates) to captured aggregates.
+// Re-captured when the shortlist fast path and round warm-starting landed:
+// the solve dynamics select a different (still certified) λ-equilibrium.
 func TestControllerGoldenSeed(t *testing.T) {
 	sys, gen := buildSystem(t, 10, 34)
 	ctrl, err := NewBDMAController(sys, 120, 3, 0.05, 17)
@@ -206,13 +209,13 @@ func TestControllerGoldenSeed(t *testing.T) {
 		latSum += r.Latency.Value()
 		costSum += r.EnergyCost.Dollars()
 	}
-	if bits := math.Float64bits(latSum); bits != 0x3ff976cc6153032d {
-		t.Errorf("latency sum bits %#x, want 0x3ff976cc6153032d", bits)
+	if bits := math.Float64bits(latSum); bits != 0x3ff9c9498be2e49f {
+		t.Errorf("latency sum bits %#x, want 0x3ff9c9498be2e49f", bits)
 	}
-	if bits := math.Float64bits(costSum); bits != 0x40109b6d948d6e04 {
-		t.Errorf("cost sum bits %#x, want 0x40109b6d948d6e04", bits)
+	if bits := math.Float64bits(costSum); bits != 0x4010c5c768a6b6a6 {
+		t.Errorf("cost sum bits %#x, want 0x4010c5c768a6b6a6", bits)
 	}
-	if bits := math.Float64bits(ctrl.Backlog()); bits != 0x3fed134b8a14739c {
-		t.Errorf("backlog bits %#x, want 0x3fed134b8a14739c", bits)
+	if bits := math.Float64bits(ctrl.Backlog()); bits != 0x3fee661a2adeb8b4 {
+		t.Errorf("backlog bits %#x, want 0x3fee661a2adeb8b4", bits)
 	}
 }

@@ -76,6 +76,16 @@ type CGBAConfig struct {
 	// potential decreases under any improving move); they differ in step
 	// count and occasionally in the equilibrium reached.
 	Pivot PivotRule
+	// Shortlist is the top-k best-response pruning width (see
+	// engine_fast.go): 0 selects DefaultShortlist, ShortlistFull (or any
+	// negative value) forces the exact path, and a positive value is used
+	// as-is. Pruning engages only when k is below some player's strategy
+	// count and Pivot is PivotMaxImprovement; the result is then a
+	// certified λ-equilibrium of the unpruned game (same approximation
+	// guarantee) reached by sweep dynamics, generally not bit-identical
+	// to the exact path's equilibrium. All other configurations take the
+	// exact path and stay bit-identical to it.
+	Shortlist int
 	// TrackObjective records the social cost after every improvement step
 	// into Result.ObjectiveTrace (index 0 is the initial profile's cost).
 	// Costs O(|R|) extra per step; off by default.

@@ -69,6 +69,10 @@ type Engine struct {
 	// so the undeadlined path is unchanged (see SetDeadline).
 	deadline *solver.Deadline
 
+	// Shortlist fast path (see engine_fast.go): lazily derived top-k
+	// tables keyed on the game's weight generation.
+	fast fastState
+
 	// Mutation scratch (see mutate.go): double buffers for the per-player
 	// state permutation of ApplyMutation, the touched-resource set of
 	// PrepareMutation, and whether the prepare step found a usable
@@ -93,11 +97,17 @@ func NewEngine(g *Game) *Engine {
 // Bind (re)binds the engine to a game, resizing buffers without
 // reallocating when capacities suffice — the cross-slot reuse path where
 // a Builder rebuilt the arena in place. All caches become invalid; call
-// Reset or ResetRandom before querying.
+// Reset or ResetRandom before querying. The profile is poisoned (every
+// entry -1, never a valid strategy) so downstream consumers that use
+// Game.Valid as a "has been solved" proxy — PrepareMutation's load-carry
+// check — reliably fall back instead of trusting recycled slots.
 func (e *Engine) Bind(g *Game) {
 	e.g = g
 	n, r := g.Players(), g.Resources()
 	e.profile = resizeProfile(e.profile, n)
+	for i := range e.profile {
+		e.profile[i] = -1
+	}
 	e.loads = resizeFloat(e.loads, r)
 	e.dirty = resizeBool(e.dirty, n)
 	e.curCost = resizeFloat(e.curCost, n)
@@ -320,6 +330,16 @@ func (e *Engine) CGBA(cfg CGBAConfig, src *rng.Source) (Result, error) {
 	}
 	g := e.g
 	n := g.Players()
+
+	// Shortlist dispatch (see engine_fast.go): when the effective top-k
+	// width actually prunes someone and the paper's max-improvement rule
+	// is selected, the pruned sweep path runs instead. A width covering
+	// every player's strategy set falls through to the exact path below —
+	// bit-identical to the seed, pools and all.
+	if k := effectiveShortlist(cfg.Shortlist); k > 0 && cfg.Pivot == PivotMaxImprovement && k < g.maxStrategyCount() {
+		return e.cgbaPruned(cfg, src, k)
+	}
+
 	maxIter := cfg.MaxIterations
 	if maxIter <= 0 {
 		maxIter = 200*n + 10000
@@ -566,16 +586,30 @@ func (e *Engine) MCBA(cfg MCBAConfig, src *rng.Source) (Result, error) {
 	return Result{Profile: best.Clone(), Objective: g.SocialCost(best), Iterations: iters}, nil
 }
 
+// resizeProfile and resizeBool grow a recycled slice to n entries with
+// make-parity semantics: slots beyond the previous length are zeroed, so
+// a shrink-then-grow cycle (population churn) never resurfaces stale
+// strategy indices or dirty bits from an earlier, larger binding.
 func resizeProfile(p Profile, n int) Profile {
 	if cap(p) < n {
 		return make(Profile, n)
 	}
-	return p[:n]
+	old := len(p)
+	p = p[:n]
+	for i := old; i < n; i++ {
+		p[i] = 0
+	}
+	return p
 }
 
 func resizeBool(s []bool, n int) []bool {
 	if cap(s) < n {
 		return make([]bool, n)
 	}
-	return s[:n]
+	old := len(s)
+	s = s[:n]
+	for i := old; i < n; i++ {
+		s[i] = false
+	}
+	return s
 }

@@ -76,6 +76,15 @@ type Game struct {
 	// maxUses is the largest use count of any single strategy (Engine
 	// scratch sizing).
 	maxUses int
+
+	// Generation counters for derived-table invalidation (the Engine's
+	// shortlist and drift-bound tables, see engine_fast.go). structGen
+	// advances whenever the strategy arena changes (Build, Commit);
+	// weightGen advances whenever any premultiplied wm factor may have
+	// changed (Build, Commit, SetResourceWeight). Both start at 1 so a
+	// zero-valued cache marker is always stale.
+	structGen uint64
+	weightGen uint64
 }
 
 // strategyUses returns the uses of player i's strategy s.
@@ -206,6 +215,8 @@ func (b *Builder) Build() (*Game, error) {
 		u := &g.uses[k]
 		u.wm = g.weights[u.res] * u.w
 	}
+	g.structGen++
+	g.weightGen++
 	return g, nil
 }
 
@@ -352,6 +363,7 @@ func (g *Game) SetResourceWeight(r int, m float64) error {
 	for _, k := range g.useIncPos[g.useIncOff[r]:g.useIncOff[r+1]] {
 		g.uses[k].wm = m * g.uses[k].w
 	}
+	g.weightGen++
 	return nil
 }
 

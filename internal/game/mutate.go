@@ -235,6 +235,8 @@ func (m *Mutation) Commit() (*Game, error) {
 	g.useOff, b.spareUseOff = b.spareUseOff, g.useOff
 	g.strOff, b.spareStrOff = b.spareStrOff, g.strOff
 	g.maxUses = maxUses
+	g.structGen++
+	g.weightGen++
 	b.buildIncidence()
 	if !m.hasReweighted {
 		for k := range g.uses {
