@@ -54,6 +54,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzChurnEquivalence -fuzztime=15s ./internal/core/
 	$(GO) test -fuzz=FuzzEngineEquivalence -fuzztime=15s ./internal/game/
 	$(GO) test -fuzz=FuzzIncrementalBestResponseEquivalence -fuzztime=15s ./internal/game/
+	$(GO) test -fuzz=FuzzShardedEquivalence -fuzztime=15s ./internal/game/
 	$(GO) test -fuzz=FuzzSanitizeState -fuzztime=15s ./internal/trace/
 
 # Long fault-injection soak: 10k slots of corrupted traces, outages, and

@@ -19,6 +19,7 @@ import (
 	"eotora/internal/faults"
 	"eotora/internal/par"
 	"eotora/internal/sim"
+	"eotora/internal/topology"
 	"eotora/internal/trace"
 )
 
@@ -56,6 +57,9 @@ func run(args []string) error {
 		churn      = fs.Float64("churn", 0, "population churn intensity: scales the default join/leave/handover/server-event probabilities (0 = fixed population, 1 = default regime)")
 		shortlist  = fs.Int("shortlist", 0, "CGBA best-response shortlist width k (0 = library default, -1 = exact unpruned path; see OPERATIONS.md)")
 		failDegrad = fs.Bool("fail-degraded", false, "exit non-zero if any slot was decided below RungFull (degradation ladder engaged); the scale-smoke CI gate")
+		topoName   = fs.String("topology", "default", "topology preset: default, urban, rural, campus, or metro")
+		shards     = fs.Int("shards", 0, "shard the slot solve into per-cluster games (0 or 1 = off, -1 = one shard per topology cluster, ≥2 = at most that many; see OPERATIONS.md)")
+		shardAudit = fs.Int("shard-audit", 0, "audit the sharded solve's optimality gap every N full-rung slots (0 = off; requires -shards)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,8 +69,13 @@ func run(args []string) error {
 		return runFromConfig(*configFile, *csv, *saveTo, *resumeFrom, *metrics, *obsOut, *slotWork)
 	}
 
+	spec, err := topology.SpecByName(*topoName, *devices)
+	if err != nil {
+		return err
+	}
 	sc, err := experiments.NewScenario(experiments.ScenarioOptions{
 		Devices:        *devices,
+		Spec:           &spec,
 		BudgetFraction: *budgetFrac,
 	}, *seed)
 	if err != nil {
@@ -112,6 +121,17 @@ func run(args []string) error {
 		if err := ctrl.SetShortlist(*shortlist); err != nil {
 			return err
 		}
+	}
+	if *shards != 0 {
+		if err := ctrl.SetShards(*shards); err != nil {
+			return err
+		}
+	}
+	if *shardAudit > 0 {
+		if *shards == 0 {
+			return fmt.Errorf("-shard-audit requires -shards")
+		}
+		ctrl.SetShardAudit(*shardAudit)
 	}
 
 	reg, err := attachObs(ctrl, *metrics, *obsOut)
@@ -201,8 +221,15 @@ func run(args []string) error {
 	}
 
 	k, m, n, i := sc.Net.Counts()
-	fmt.Printf("scenario: %d base stations, %d rooms, %d servers, %d devices (seed %d)\n", k, m, n, i, *seed)
+	fmt.Printf("scenario: %s topology, %d base stations, %d rooms, %d servers, %d devices (seed %d)\n", *topoName, k, m, n, i, *seed)
 	fmt.Printf("controller: %s-based DPP, V=%g, z=%d, λ=%g\n", ctrl.SolverName(), *v, *z, *lambda)
+	if *shards != 0 {
+		if *shards == core.ShardsAuto {
+			fmt.Printf("sharding: one shard per topology cluster (-shards -1)\n")
+		} else {
+			fmt.Printf("sharding: up to %d shards\n", *shards)
+		}
+	}
 	fmt.Printf("budget:   $%.4f per slot\n", sc.Sys.Budget.Dollars())
 	fmt.Printf("slots:    %d (%d warmup)\n\n", *slots, *warmup)
 	fmt.Printf("avg latency:       %.4f s (sum over devices per slot)\n", res.AvgLatency())
@@ -211,6 +238,9 @@ func run(args []string) error {
 		res.BudgetSatisfied(0.02), res.AvgCost()/res.Budget)
 	fmt.Printf("avg queue backlog: %.3f\n", res.AvgBacklog())
 	fmt.Printf("avg decision time: %v per slot\n", res.AvgDecisionTime())
+	if a := res.AuditedSlots(); a > 0 {
+		fmt.Printf("avg shard gap:     %+.4f%% over %d audited slots\n", res.AvgShardGap()*100, a)
+	}
 	if d := res.DegradedSlots(); d > 0 {
 		fmt.Printf("degraded slots:    %d of %d (fallback ladder; see OPERATIONS.md)\n", d, *slots)
 	}

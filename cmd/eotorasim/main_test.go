@@ -19,6 +19,13 @@ func TestRunSmallSimulation(t *testing.T) {
 	}
 }
 
+func TestRunShardedMetro(t *testing.T) {
+	if err := run([]string{"-topology", "metro", "-devices", "60", "-slots", "4", "-warmup", "1",
+		"-z", "1", "-shards", "-1", "-shard-audit", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunValidationErrors(t *testing.T) {
 	tests := []struct {
 		name string
@@ -28,6 +35,10 @@ func TestRunValidationErrors(t *testing.T) {
 		{"bad flag", []string{"-nope"}},
 		{"missing price csv", []string{"-devices", "5", "-slots", "4", "-price-csv", "/nonexistent.csv"}},
 		{"missing config", []string{"-config", "/nonexistent.json"}},
+		{"unknown topology", []string{"-devices", "5", "-slots", "4", "-topology", "ocean"}},
+		{"bad shards", []string{"-devices", "5", "-slots", "4", "-shards", "-2"}},
+		{"shards on mcba", []string{"-devices", "5", "-slots", "4", "-solver", "mcba", "-shards", "2"}},
+		{"audit without shards", []string{"-devices", "5", "-slots", "4", "-shard-audit", "3"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

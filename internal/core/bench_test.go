@@ -33,6 +33,72 @@ func benchSystem(b *testing.B, devices int) (*System, *trace.Generator) {
 	return sys, gen
 }
 
+// benchMetroSystem is benchSystem on the metro preset — the wide gridded
+// topology whose station–room graph decomposes into ~25 resource-disjoint
+// clusters (topology.MetroSpec), the setting the sharded solve targets.
+func benchMetroSystem(b *testing.B, devices int) (*System, *trace.Generator) {
+	b.Helper()
+	src := rng.New(1)
+	net, err := topology.Generate(topology.MetroSpec(devices), src.Derive("net"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := DefaultEnergyModels(len(net.Servers), src.Derive("energy"))
+	sys, err := NewSystem(net, models, 3600, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	low := sys.EnergyCost(sys.LowestFrequencies(), 50)
+	high := sys.EnergyCost(sys.HighestFrequencies(), 50)
+	sys.Budget = (low + high) / 2
+	gen, err := trace.NewGenerator(net, trace.DefaultGeneratorConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, gen
+}
+
+// BenchmarkControllerStepSharded is the metro-scale headline pair: full
+// slots on the metro topology with the per-cluster sharded solve
+// (shards=auto) against the unsharded path on the identical system and
+// trace. z=2 and λ=0.05 are the metro operating point (OPERATIONS.md):
+// the λ slack is what arms the drift-bound sweep pruning, and the
+// unsharded 100k solve is far too slow to time, so the off mode stops at
+// 10k. The name matches the bench-gate regexp (ControllerStep).
+func BenchmarkControllerStepSharded(b *testing.B) {
+	for _, devices := range []int{1000, 10000, 100000} {
+		for _, mode := range []struct {
+			name   string
+			shards int
+		}{{"off", 0}, {"auto", ShardsAuto}} {
+			if devices == 100000 && mode.shards == 0 {
+				continue
+			}
+			b.Run(fmt.Sprintf("devices=%d/shards=%s", devices, mode.name), func(b *testing.B) {
+				sys, gen := benchMetroSystem(b, devices)
+				ctrl, err := NewBDMAController(sys, 100, 2, 0.05, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode.shards != 0 {
+					if err := ctrl.SetShards(mode.shards); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// Metro states are large (100k × 49 channel rows); two still
+				// alternate enough to defeat cross-slot caching artifacts.
+				states := trace.Record(gen, 2)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := ctrl.Step(states[i%len(states)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkControllerStep(b *testing.B) {
 	for _, devices := range []int{25, 50, 100, 300, 1000, 10000} {
 		b.Run(fmt.Sprintf("devices=%d", devices), func(b *testing.B) {

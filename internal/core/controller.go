@@ -90,6 +90,13 @@ type SlotResult struct {
 	// Rung is the fallback-ladder rung that produced the decision (one of
 	// the Rung* constants; RungFull when the solve completed normally).
 	Rung int
+	// ShardGap is the sharded-vs-unsharded optimality gap measured on
+	// this slot when the shard audit sampled it (SetShardAudit):
+	// (sharded − reference)/reference social cost on the slot's final
+	// P2-A game. Meaningful only when ShardAudited is true.
+	ShardGap float64
+	// ShardAudited reports that this slot ran the shard audit.
+	ShardAudited bool
 }
 
 // Controller runs Algorithm 1: at each slot it observes β_t, calls BDMA
@@ -124,6 +131,10 @@ type Controller struct {
 	prevSel  Selection
 	prevFreq Frequencies
 	havePrev bool
+
+	// shardAuditEvery samples the sharded-vs-unsharded optimality gap on
+	// every N-th full-rung slot (SetShardAudit; 0 = off).
+	shardAuditEvery int
 
 	// Observability (see instr.go). obs is the registry attached with
 	// SetObs (nil = off); instr holds the pre-resolved instrument handles
@@ -208,13 +219,61 @@ func (c *Controller) Pool() *par.Pool { return c.pool }
 // It errors when the controller's P2-A solver is not CGBA — the knob has
 // no meaning for the MCBA/ROPT baselines.
 func (c *Controller) SetShortlist(k int) error {
-	s, ok := c.cfg.BDMA.Solver.(CGBASolver)
-	if !ok {
-		return fmt.Errorf("core: shortlist width applies to the CGBA solver, not %s", c.SolverName())
+	s, err := c.cgbaSolver("shortlist width")
+	if err != nil {
+		return err
 	}
 	s.Shortlist = k
 	c.cfg.BDMA.Solver = s
 	return nil
+}
+
+// SetShards configures the sharded slot solve (DESIGN.md §13): the
+// per-slot P2-A game is partitioned into resource-disjoint topology
+// clusters solved concurrently over the attached pool, with boundary
+// players reconciled serially until the global λ-equilibrium certifies.
+// n = 0 or 1 disables sharding (bit-identical to the unsharded path at
+// every pool size), n ≥ 2 uses at most n shards (clamped to the
+// topology's cluster count), and ShardsAuto uses one shard per cluster.
+// It errors when the controller's P2-A solver is not CGBA — the
+// MCBA/ROPT/OPT baselines have no sharded path.
+func (c *Controller) SetShards(n int) error {
+	if n < ShardsAuto {
+		return fmt.Errorf("core: invalid shard count %d", n)
+	}
+	s, err := c.cgbaSolver("sharding")
+	if err != nil {
+		return err
+	}
+	s.Shards = n
+	c.cfg.BDMA.Solver = s
+	return nil
+}
+
+// SetShardAudit samples the sharded solve's optimality gap on every
+// N-th slot decided at RungFull with sharding active: the performed
+// selection's social cost on the slot's final P2-A game is compared
+// against a fresh unsharded, deadline-free CGBA reference solve of the
+// same game, and the relative gap is exported through the shard.*
+// metrics (and SlotResult.ShardGap). The reference solve runs
+// uninstrumented so its work never lands in the cgba.*/engine.*
+// series; it costs roughly one extra unsharded solve per audited slot,
+// so keep `every` large in production (OPERATIONS.md). 0 disables the
+// audit.
+func (c *Controller) SetShardAudit(every int) { c.shardAuditEvery = every }
+
+// cgbaSolver returns the controller's CGBA solver config for mutation,
+// materializing the implicit default when no solver was configured. The
+// error names the knob that has no meaning for non-CGBA baselines.
+func (c *Controller) cgbaSolver(what string) (CGBASolver, error) {
+	if c.cfg.BDMA.Solver == nil {
+		return CGBASolver{}, nil
+	}
+	s, ok := c.cfg.BDMA.Solver.(CGBASolver)
+	if !ok {
+		return CGBASolver{}, fmt.Errorf("core: %s applies to the CGBA solver, not %s", what, c.SolverName())
+	}
+	return s, nil
 }
 
 // SolverName identifies the P2-A solver driving this controller
@@ -338,8 +397,62 @@ func (c *Controller) StepWithObservation(observed, realized *trace.State) (*Slot
 		out.Backlog = c.dpp.Commit(res.Theta)
 	}
 	out.Elapsed = time.Since(start)
+	if c.shardAuditEvery > 0 && rung == RungFull && c.slot%c.shardAuditEvery == 0 {
+		c.auditShardGap(out)
+	}
 	c.instr.record(out)
 	return out, nil
+}
+
+// auditShardGap measures the sharded solve's optimality gap for the
+// slot (SetShardAudit): the performed selection is priced on the slot's
+// final P2-A game and compared against an unsharded, deadline-free CGBA
+// reference solve of the same game. Slots where sharding is off or
+// degenerate (the whole topology is one cluster) are skipped, so the
+// audit can stay armed across heterogeneous sweeps.
+func (c *Controller) auditShardGap(out *SlotResult) {
+	s, ok := c.cfg.BDMA.Solver.(CGBASolver)
+	if !ok || s.Shards == 0 || s.Shards == 1 {
+		return
+	}
+	p := &c.p2a
+	g := p.Game()
+	if g == nil {
+		return
+	}
+	if plan, err := p.shardPlanFor(s.Shards); err != nil || plan == nil {
+		return
+	}
+	prof, err := p.Profile(out.Decision.Selection)
+	if err != nil {
+		return
+	}
+	sharded := g.SocialCost(prof)
+	// The reference solve runs on a throwaway engine bound to the same
+	// game: deadline-free (leftover slot budget must not truncate it),
+	// uninstrumented (its work must not land in the cgba.*/engine.*
+	// series), and fully isolated from the live engine's profile and
+	// caches — later slots solve bit-identically whether or not this
+	// slot was audited. The RNG source is derived outside the slot's
+	// draw sequence for the same reason.
+	ref, err := game.NewEngine(g).CGBA(game.CGBAConfig{
+		Lambda:        s.Lambda,
+		MaxIterations: s.MaxIterations,
+		Pivot:         s.Pivot,
+		Shortlist:     s.Shortlist,
+	}, rng.New(c.cfg.Seed).Derive(fmt.Sprintf("shard-audit-%d", c.slot)))
+	if err != nil {
+		return
+	}
+	refCost := g.SocialCost(ref.Profile)
+	gap := 0.0
+	if refCost != 0 {
+		gap = (sharded - refCost) / refCost
+	}
+	out.ShardGap, out.ShardAudited = gap, true
+	c.instr.shardAudits.Inc()
+	c.instr.shardGap.Observe(gap)
+	c.instr.shardGapG.Set(gap)
 }
 
 // SetSlotDeadline (re)configures the per-slot budgets after construction:

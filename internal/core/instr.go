@@ -35,6 +35,13 @@ const (
 	MetricCacheHits      = "engine.cache_hits" // counter: best-response cache hits
 	MetricCacheMisses    = "engine.cache_miss" // counter: best-response cache misses
 	MetricEngineMoves    = "engine.moves"      // counter: strategy switches applied
+
+	// Sharded-solve optimality audit (Controller.SetShardAudit;
+	// DESIGN.md §13). The gap is (sharded − reference)/reference social
+	// cost on the audited slot's final P2-A game.
+	MetricShardAudits = "shard.audits"  // counter: audited slots
+	MetricShardGap    = "shard.gap"     // histogram: per-audit optimality gap
+	MetricShardGapNow = "shard.gap_now" // gauge: latest audited gap
 )
 
 // solveInstr carries the per-slot solve instruments through the BDMA
@@ -59,6 +66,11 @@ type ctrlInstr struct {
 	missed   *obs.Counter
 	rung     *obs.Histogram
 	solve    solveInstr
+
+	// Shard-audit series (recorded only on audited slots).
+	shardAudits *obs.Counter
+	shardGap    *obs.Histogram
+	shardGapG   *obs.Gauge
 }
 
 // SetObs attaches an observability registry to the controller: per-slot
@@ -70,14 +82,17 @@ type ctrlInstr struct {
 func (c *Controller) SetObs(reg *obs.Registry) {
 	c.obs = reg
 	c.instr = ctrlInstr{
-		slots:    reg.Counter(MetricSlots),
-		decision: reg.Histogram(MetricDecisionSeconds),
-		latency:  reg.Histogram(MetricLatencySeconds),
-		theta:    reg.Histogram(MetricTheta),
-		backlog:  reg.Histogram(MetricBacklog),
-		backlogG: reg.Gauge(MetricBacklogNow),
-		missed:   reg.Counter(MetricDeadlineMissed),
-		rung:     reg.Histogram(MetricFallbackRung),
+		slots:       reg.Counter(MetricSlots),
+		decision:    reg.Histogram(MetricDecisionSeconds),
+		latency:     reg.Histogram(MetricLatencySeconds),
+		theta:       reg.Histogram(MetricTheta),
+		backlog:     reg.Histogram(MetricBacklog),
+		backlogG:    reg.Gauge(MetricBacklogNow),
+		missed:      reg.Counter(MetricDeadlineMissed),
+		rung:        reg.Histogram(MetricFallbackRung),
+		shardAudits: reg.Counter(MetricShardAudits),
+		shardGap:    reg.Histogram(MetricShardGap),
+		shardGapG:   reg.Gauge(MetricShardGapNow),
 		solve: solveInstr{
 			bdmaRounds:    reg.Counter(MetricBDMARounds),
 			bdmaBestRound: reg.Histogram(MetricBDMABestRound),

@@ -7,6 +7,7 @@ import (
 	"eotora/internal/game"
 	"eotora/internal/par"
 	"eotora/internal/rng"
+	"eotora/internal/shard"
 	"eotora/internal/solver"
 	"eotora/internal/topology"
 	"eotora/internal/trace"
@@ -31,14 +32,11 @@ type P2A struct {
 	pairs [][]topology.Pair // [device][strategy] → (station, server)
 
 	// Reuse machinery. builder owns the game arena (Build returns a
-	// stable pointer into it); pairArena backs the pairs rows; lookup maps
-	// (device, station, server) → strategy index (−1 = infeasible), the
-	// constant-time inverse Profile uses instead of scanning pairs.
+	// stable pointer into it); pairArena backs the pairs rows.
 	builder   *game.Builder
 	engine    *game.Engine
 	pairArena []topology.Pair
 	pairOff   []int32
-	lookup    []int32
 	stations  int
 	servers   int
 
@@ -85,6 +83,15 @@ type P2A struct {
 	stationAffected []bool
 	oldWeights      []float64
 	weightTouched   []int32
+
+	// Shard-plan memo (see shardPlanFor). shardPlan is the compiled
+	// player → shard assignment for planTarget, rebuilt lazily because
+	// BuildP2A and ApplyChurn can change the active population (and thus
+	// the player indexing); planAssign is its reused scratch row.
+	shardPlan  *game.ShardPlan
+	planAssign []int32
+	planTarget int
+	planValid  bool
 }
 
 // capAt returns the capacity scale for server n: capScale[n], or the
@@ -136,9 +143,8 @@ func (s *System) NewP2A(st *trace.State, freq Frequencies) (*P2A, error) {
 }
 
 // BuildP2A (re)fills p with the slot's game, reusing p's arenas and any
-// engine already bound. The game, pair rows, and profile lookup previously
-// exposed by p are invalidated. Validation and results are identical to
-// NewP2A.
+// engine already bound. The game and pair rows previously exposed by p
+// are invalidated. Validation and results are identical to NewP2A.
 func (s *System) BuildP2A(p *P2A, st *trace.State, freq Frequencies) error {
 	if err := s.CheckState(st); err != nil {
 		return err
@@ -161,16 +167,15 @@ func (s *System) BuildP2A(p *P2A, st *trace.State, freq Frequencies) error {
 	p.stations, p.servers = stations, servers
 	p.capScale = st.CapScale
 	p.haveSnap = false
+	p.planValid = false
 	p.pairArena = p.pairArena[:0]
 	p.pairOff = append(p.pairOff[:0], 0)
-	p.lookup = resizeNegInt32(p.lookup, devices*stations*servers)
 	p.playerDev = p.playerDev[:0]
 	p.devPlayer = resizeNegInt32(p.devPlayer, devices)
 
 	for i := 0; i < devices; i++ {
 		if !st.ActiveDevice(i) {
-			// Departed device: no player, an empty pair row, and a lookup
-			// row of −1s (resizeNegInt32 above already cleared it).
+			// Departed device: no player and an empty pair row.
 			p.pairOff = append(p.pairOff, int32(len(p.pairArena)))
 			continue
 		}
@@ -223,7 +228,6 @@ func (s *System) BuildP2A(p *P2A, st *trace.State, freq Frequencies) error {
 						// load to keep the strategy well-formed.
 						b.AddUse(servers+k, math.SmallestNonzeroFloat64)
 					}
-					p.lookup[(i*stations+k)*servers+n] = int32(count)
 					p.pairArena = append(p.pairArena, topology.Pair{Station: k, Server: n})
 					count++
 				}
@@ -397,16 +401,13 @@ func (s *System) ApplyChurn(p *P2A, st *trace.State, freq Frequencies) error {
 	p.sparePlayerDev = p.sparePlayerDev[:0]
 	for i := 0; i < devices; i++ {
 		if !st.ActiveDevice(i) {
-			if p.prevDevActive[i] {
-				clearLookupRow(p.lookup, i, stations*servers)
-			}
 			p.devPlayer[i] = -1
 			p.sparePairOff = append(p.sparePairOff, int32(len(p.sparePairArena)))
 			continue
 		}
 		if keepEligible(i) {
 			// Kept verbatim: the old player's strategy spans are copied
-			// bit-for-bit and the lookup row is already correct.
+			// bit-for-bit, pair row included.
 			m.KeepPlayer(int(p.devPlayer[i]))
 			p.devPlayer[i] = int32(len(p.sparePlayerDev))
 			p.sparePlayerDev = append(p.sparePlayerDev, int32(i))
@@ -415,7 +416,6 @@ func (s *System) ApplyChurn(p *P2A, st *trace.State, freq Frequencies) error {
 			continue
 		}
 		// Restream with BuildP2A's exact expressions and order.
-		clearLookupRow(p.lookup, i, stations*servers)
 		p.devPlayer[i] = int32(len(p.sparePlayerDev))
 		p.sparePlayerDev = append(p.sparePlayerDev, int32(i))
 		m.NextPlayer()
@@ -450,7 +450,6 @@ func (s *System) ApplyChurn(p *P2A, st *trace.State, freq Frequencies) error {
 					if !used {
 						m.AddUse(servers+k, math.SmallestNonzeroFloat64)
 					}
-					p.lookup[(i*stations+k)*servers+n] = int32(count)
 					p.sparePairArena = append(p.sparePairArena, topology.Pair{Station: k, Server: n})
 					count++
 				}
@@ -494,6 +493,7 @@ func (s *System) ApplyChurn(p *P2A, st *trace.State, freq Frequencies) error {
 		p.pairs[i] = p.pairArena[p.pairOff[i]:p.pairOff[i+1]]
 	}
 	p.capScale = st.CapScale
+	p.planValid = false
 	p.snapshot(st)
 	return nil
 }
@@ -505,14 +505,6 @@ func (p *P2A) ApplyChurn(st *trace.State, freq Frequencies) error {
 		return fmt.Errorf("core: ApplyChurn on an unbuilt P2A")
 	}
 	return p.sys.ApplyChurn(p, st, freq)
-}
-
-// clearLookupRow resets device i's (station, server) → strategy row to −1.
-func clearLookupRow(lookup []int32, i, rowLen int) {
-	row := lookup[i*rowLen : (i+1)*rowLen]
-	for j := range row {
-		row[j] = -1
-	}
 }
 
 // Reweight updates the game in place for new frequencies: only the N
@@ -602,18 +594,23 @@ func (p *P2A) Selection(profile game.Profile) Selection {
 
 // Profile converts a universe-sized selection back into a game profile
 // over the active players; it returns an error when an active device's
-// (station, server) pair is not among its feasible strategies. The
-// inverse map is a precomputed (station, server) → strategy table, so the
-// conversion is O(devices) rather than a linear scan of every device's
-// strategy list.
+// (station, server) pair is not among its feasible strategies. Each
+// device's pair row is scanned directly — rows are short (one entry per
+// feasible pair), and scanning avoids the dense (device, station,
+// server) inverse table the old implementation carried, which at metro
+// scale (100k devices × 49 stations × 100 servers) would dwarf the game
+// itself.
 func (p *P2A) Profile(sel Selection) (game.Profile, error) {
 	profile := make(game.Profile, len(p.playerDev))
 	for pl := range profile {
 		i := int(p.playerDev[pl])
 		k, n := sel.Station[i], sel.Server[i]
-		found := int32(-1)
-		if k >= 0 && k < p.stations && n >= 0 && n < p.servers {
-			found = p.lookup[(i*p.stations+k)*p.servers+n]
+		found := -1
+		for sIdx, pair := range p.pairs[i] {
+			if pair.Station == k && pair.Server == n {
+				found = sIdx
+				break
+			}
 		}
 		if found < 0 {
 			return nil, fmt.Errorf("core: device %d pair (%d, %d) infeasible", i, k, n)
@@ -621,6 +618,68 @@ func (p *P2A) Profile(sel Selection) (game.Profile, error) {
 		profile[pl] = int(found)
 	}
 	return profile, nil
+}
+
+// ShardsAuto asks the sharded slot solve to use one shard per
+// resource-disjoint topology cluster (see CGBASolver.Shards).
+const ShardsAuto = -1
+
+// shardPlanFor returns the slot's player → shard assignment for the
+// requested shard count: the topology is partitioned into
+// resource-disjoint clusters (internal/shard), each active player is
+// assigned to the shard owning every station and server its feasible
+// pairs touch, and players whose pairs span shards become boundary
+// players the sharded solve reconciles serially. A nil plan (with nil
+// error) means sharding is off or degenerate (target ≤ 1, or the whole
+// topology is one cluster) and the caller should run the unsharded
+// path. The compiled plan is memoized per target and invalidated by
+// BuildP2A/ApplyChurn, so steady-state slots pay one O(players) scan
+// only when the population actually changed.
+func (p *P2A) shardPlanFor(target int) (*game.ShardPlan, error) {
+	if target == 0 || target == 1 {
+		return nil, nil
+	}
+	if target < 0 && target != ShardsAuto {
+		return nil, fmt.Errorf("core: invalid shard count %d", target)
+	}
+	if p.planValid && p.planTarget == target {
+		return p.shardPlan, nil
+	}
+	want := target
+	if want == ShardsAuto {
+		want = math.MaxInt // shard.New clamps to the cluster count
+	}
+	part := shard.New(p.sys.Net, want)
+	if part.Shards <= 1 {
+		// Single cluster: every player would land in shard 0 and the
+		// sharded solve would just delegate — skip the plan entirely.
+		p.shardPlan, p.planTarget, p.planValid = nil, target, true
+		return nil, nil
+	}
+	assign := p.planAssign[:0]
+	for _, dev := range p.playerDev {
+		row := p.pairs[dev]
+		sh := part.StationShard[row[0].Station]
+		for _, pr := range row {
+			if part.StationShard[pr.Station] != sh || part.ServerShard[pr.Server] != sh {
+				sh = -1
+				break
+			}
+		}
+		assign = append(assign, sh)
+	}
+	p.planAssign = assign
+	var err error
+	if p.shardPlan == nil {
+		p.shardPlan, err = game.NewShardPlan(part.Shards, assign)
+	} else {
+		err = p.shardPlan.Reset(part.Shards, assign)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: shard plan: %w", err)
+	}
+	p.planTarget, p.planValid = target, true
+	return p.shardPlan, nil
 }
 
 // resizeBoolSlice returns s with length n (contents unspecified until the
@@ -679,6 +738,13 @@ type CGBASolver struct {
 	// game.ShortlistFull = the exact (unpruned, bit-identical-to-seed)
 	// path, positive = that width. See OPERATIONS.md for tuning.
 	Shortlist int
+	// Shards splits the slot game into resource-disjoint topology
+	// clusters solved concurrently and reconciled at the boundary until
+	// the global λ-equilibrium certifies (DESIGN.md §13): 0 or 1 =
+	// unsharded (bit-identical to the seed path), ≥ 2 = at most that
+	// many shards (clamped to the cluster count), ShardsAuto = one shard
+	// per cluster.
+	Shards int
 }
 
 var _ P2ASolver = CGBASolver{}
@@ -690,13 +756,24 @@ func (c CGBASolver) Name() string { return "CGBA" }
 // Solve implements P2ASolver. It runs on the instance's persistent
 // engine, so repeated solves of the same P2A reuse caches and scratch.
 func (c CGBASolver) Solve(p *P2A, src *rng.Source) (game.Result, error) {
-	return p.Engine().CGBA(c.config(nil), src)
+	return c.solveFrom(p, nil, src)
 }
 
 // SolveFrom implements warmStartSolver: Solve seeded with an initial
 // profile instead of a random one.
 func (c CGBASolver) SolveFrom(p *P2A, initial game.Profile, src *rng.Source) (game.Result, error) {
-	return p.Engine().CGBA(c.config(initial), src)
+	return c.solveFrom(p, initial, src)
+}
+
+func (c CGBASolver) solveFrom(p *P2A, initial game.Profile, src *rng.Source) (game.Result, error) {
+	plan, err := p.shardPlanFor(c.Shards)
+	if err != nil {
+		return game.Result{}, err
+	}
+	if plan == nil {
+		return p.Engine().CGBA(c.config(initial), src)
+	}
+	return p.Engine().CGBASharded(c.config(initial), plan, src)
 }
 
 func (c CGBASolver) config(initial game.Profile) game.CGBAConfig {

@@ -118,7 +118,8 @@ func TestBuildP2AReuseMatchesFresh(t *testing.T) {
 }
 
 // TestProfileLookupRoundTrip exercises the (station, server) → strategy
-// lookup against the pair table it inverts, plus its error paths.
+// inverse (a scan of each device's pair row) against the pair table, plus
+// its error paths.
 func TestProfileLookupRoundTrip(t *testing.T) {
 	sys, gen := buildSystem(t, 9, 43)
 	st := gen.Next()

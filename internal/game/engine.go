@@ -73,6 +73,11 @@ type Engine struct {
 	// tables keyed on the game's weight generation.
 	fast fastState
 
+	// Sharded solve (see engine_shard.go): per-shard private solve state
+	// and the persistent parallel-region task.
+	shardSlv []shardSolve
+	shardT   shardSweepTask
+
 	// Mutation scratch (see mutate.go): double buffers for the per-player
 	// state permutation of ApplyMutation, the touched-resource set of
 	// PrepareMutation, and whether the prepare step found a usable

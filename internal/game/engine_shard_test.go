@@ -1,0 +1,352 @@
+package game
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"eotora/internal/par"
+	"eotora/internal/rng"
+	"eotora/internal/solver"
+)
+
+// clusteredGame builds a game whose resources split into `clusters`
+// disjoint blocks of resPerCluster resources: every interior player's
+// strategies stay inside its cluster's block, and `boundary` players
+// have strategies spanning several blocks. Returns the game and the
+// player → shard assignment (−1 = boundary) for a one-shard-per-cluster
+// plan. Players are interleaved across clusters so the plan's CSR
+// compilation is exercised on a non-contiguous assignment.
+func clusteredGame(t testing.TB, src *rng.Source, clusters, perCluster, boundary, strategies, resPerCluster int) (*Game, []int32) {
+	t.Helper()
+	if resPerCluster < 3 {
+		t.Fatal("clusteredGame needs at least 3 resources per cluster")
+	}
+	resources := clusters * resPerCluster
+	weights := make([]float64, resources)
+	for r := range weights {
+		weights[r] = src.Uniform(0.5, 2)
+	}
+	n := clusters*perCluster + boundary
+	strats := make([][][]Use, n)
+	assign := make([]int32, n)
+	blockStrategies := func(block int) [][]Use {
+		base := block * resPerCluster
+		out := make([][]Use, 0, strategies)
+		for s := 0; s < strategies; s++ {
+			perm := src.Perm(resPerCluster)
+			out = append(out, []Use{
+				{Resource: base + perm[0], Weight: src.Uniform(0.2, 3)},
+				{Resource: base + perm[1], Weight: src.Uniform(0.2, 3)},
+				{Resource: base + perm[2], Weight: src.Uniform(0.2, 3)},
+			})
+		}
+		return out
+	}
+	for i := 0; i < clusters*perCluster; i++ {
+		c := i % clusters // interleaved
+		assign[i] = int32(c)
+		strats[i] = blockStrategies(c)
+	}
+	for i := clusters * perCluster; i < n; i++ {
+		assign[i] = -1
+		var all [][]Use
+		// One strategy batch per block: the boundary player genuinely
+		// couples every cluster.
+		for c := 0; c < clusters; c++ {
+			all = append(all, blockStrategies(c)...)
+		}
+		strats[i] = all
+	}
+	g, err := New(weights, strats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, assign
+}
+
+func runCGBASharded(t testing.TB, g *Game, cfg CGBAConfig, plan *ShardPlan, seed int64, size int) Result {
+	t.Helper()
+	e := NewEngine(g)
+	if size > 0 {
+		pool := par.New(size)
+		defer pool.Close()
+		e.SetPool(pool)
+	}
+	res, err := e.CGBASharded(cfg, plan, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestShardPlanValidation(t *testing.T) {
+	if _, err := NewShardPlan(0, []int32{0}); err == nil {
+		t.Error("0 shards should be rejected")
+	}
+	if _, err := NewShardPlan(2, []int32{0, 2}); err == nil {
+		t.Error("shard index == shards should be rejected")
+	}
+	if _, err := NewShardPlan(2, []int32{0, -2}); err == nil {
+		t.Error("shard index below -1 should be rejected")
+	}
+	plan, err := NewShardPlan(3, []int32{2, -1, 0, 1, 0, -1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Shards() != 3 || plan.Players() != 7 || plan.Boundary() != 2 {
+		t.Fatalf("Shards/Players/Boundary = %d/%d/%d, want 3/7/2",
+			plan.Shards(), plan.Players(), plan.Boundary())
+	}
+	// CSR groups interior players by shard, ascending inside each.
+	wantOrder := []int32{2, 4, 3, 0, 6}
+	if !reflect.DeepEqual(plan.order, wantOrder) {
+		t.Errorf("order = %v, want %v", plan.order, wantOrder)
+	}
+	if !reflect.DeepEqual(plan.boundary, []int32{1, 5}) {
+		t.Errorf("boundary = %v, want [1 5]", plan.boundary)
+	}
+	// Reset reuses the plan for a different assignment.
+	if err := plan.Reset(2, []int32{1, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Shards() != 2 || plan.Players() != 3 || plan.Boundary() != 0 {
+		t.Fatalf("after Reset: %d/%d/%d, want 2/3/0", plan.Shards(), plan.Players(), plan.Boundary())
+	}
+	var nilPlan *ShardPlan
+	if nilPlan.Shards() != 0 {
+		t.Error("nil plan should report 0 shards")
+	}
+}
+
+// A plan whose "interior" players actually share resources across shards
+// must be rejected before any parallel work touches the loads.
+func TestCGBAShardedRejectsNonDisjointPlan(t *testing.T) {
+	g := randomGame(t, rng.New(701), 12, 4, 6) // every player roams all 6 resources
+	assign := make([]int32, 12)
+	for i := range assign {
+		assign[i] = int32(i % 2)
+	}
+	plan, err := NewShardPlan(2, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g)
+	if _, err := e.CGBASharded(CGBAConfig{Lambda: 0.01}, plan, rng.New(1)); err == nil {
+		t.Fatal("non-disjoint plan should be rejected")
+	}
+	// Player-count mismatch is rejected too.
+	small, err := NewShardPlan(2, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CGBASharded(CGBAConfig{Lambda: 0.01}, small, rng.New(1)); err == nil {
+		t.Fatal("player-count mismatch should be rejected")
+	}
+}
+
+// The sharded solve must return a certified λ-equilibrium of the global
+// game, identical at every pool size and on every repeat.
+func TestCGBAShardedCertifiedEquilibrium(t *testing.T) {
+	for _, tc := range []struct {
+		name               string
+		shortlist          int
+		clusters, boundary int
+	}{
+		{"pruned", 0, 4, 6},
+		{"exact-width", ShortlistFull, 4, 6},
+		{"narrow", 4, 3, 5},
+		{"no-boundary", 0, 4, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, assign := clusteredGame(t, rng.New(711), tc.clusters, 12, tc.boundary, 8, 6)
+			plan, err := NewShardPlan(tc.clusters, assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := CGBAConfig{Lambda: 0.01, Shortlist: tc.shortlist}
+			base := runCGBASharded(t, g, cfg, plan, 1, 0)
+
+			// Certified: the profile is a λ-equilibrium of the unpruned game.
+			e := NewEngine(g)
+			if err := e.Reset(base.Profile); err != nil {
+				t.Fatal(err)
+			}
+			if !e.IsEquilibrium(cfg.Lambda) {
+				t.Fatal("sharded result is not a λ-equilibrium of the global game")
+			}
+			if math.Float64bits(base.Objective) != math.Float64bits(g.SocialCost(base.Profile)) {
+				t.Error("objective does not match the returned profile")
+			}
+
+			// Pool-invariant and deterministic.
+			for _, size := range []int{1, 2, 4} {
+				requireSameResult(t, tc.name, runCGBASharded(t, g, cfg, plan, 1, size), base)
+			}
+			requireSameResult(t, tc.name+"/repeat", runCGBASharded(t, g, cfg, plan, 1, 0), base)
+		})
+	}
+}
+
+// A nil or single-shard plan must delegate to the unsharded path
+// bit-for-bit — the shards=1 half of the equivalence contract.
+func TestCGBAShardedSingleShardBitIdentical(t *testing.T) {
+	g, assign := clusteredGame(t, rng.New(721), 3, 10, 4, 8, 6)
+	for _, shortlist := range []int{0, ShortlistFull} {
+		cfg := CGBAConfig{Lambda: 0.01, Shortlist: shortlist}
+		want := runCGBAPooled(t, g, cfg, 7, 0)
+		one := make([]int32, len(assign))
+		plan, err := NewShardPlan(1, one)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, size := range []int{0, 1, 4} {
+			requireSameResult(t, "plan=1", runCGBASharded(t, g, cfg, plan, 7, size), want)
+			requireSameResult(t, "plan=nil", runCGBASharded(t, g, cfg, nil, 7, size), want)
+		}
+	}
+}
+
+// Warm starts: an initial profile is honored, and the solve still ends
+// certified.
+func TestCGBAShardedInitialProfile(t *testing.T) {
+	g, assign := clusteredGame(t, rng.New(731), 3, 10, 4, 8, 6)
+	plan, err := NewShardPlan(3, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := CGBAConfig{Lambda: 0.01}
+	first := runCGBASharded(t, g, cfg, plan, 1, 0)
+	cfg.Initial = first.Profile
+	e := NewEngine(g)
+	res, err := e.CGBASharded(cfg, plan, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-starting from an equilibrium converges with zero moves.
+	if res.Iterations != 0 {
+		t.Errorf("warm start from equilibrium made %d moves, want 0", res.Iterations)
+	}
+	if !reflect.DeepEqual(res.Profile, first.Profile) {
+		t.Error("warm start from equilibrium changed the profile")
+	}
+	cfg.Initial = Profile{0} // wrong length
+	if _, err := e.CGBASharded(cfg, plan, rng.New(1)); err == nil {
+		t.Error("invalid initial profile should be rejected")
+	}
+}
+
+// An exhausted counted deadline truncates the sharded solve at a serial
+// checkpoint, still returning a feasible profile.
+func TestCGBAShardedDeadline(t *testing.T) {
+	g, assign := clusteredGame(t, rng.New(741), 3, 12, 4, 8, 6)
+	plan, err := NewShardPlan(3, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g)
+	var dl solver.Deadline
+	dl.Start(0, 1) // one checkpoint: expires at the first round boundary
+	e.SetDeadline(&dl)
+	res, err := e.CGBASharded(CGBAConfig{Lambda: 0.01}, plan, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("exhausted deadline should truncate")
+	}
+	if !g.Valid(res.Profile) {
+		t.Fatal("truncated result is not a feasible profile")
+	}
+}
+
+// FuzzShardedEquivalence fuzzes the sharded solve's whole contract: for
+// arbitrary clustered games, widths, tolerances, and pool sizes the
+// sharded result must be a certified λ-equilibrium of the global
+// unpruned game, deterministic, pool-invariant, and — with a one-shard
+// plan — bit-identical to the unsharded path.
+func FuzzShardedEquivalence(f *testing.F) {
+	f.Add(int64(1), int64(2), uint8(3), uint8(2), uint8(0), uint8(0), uint8(2))
+	f.Add(int64(42), int64(43), uint8(2), uint8(0), uint8(4), uint8(5), uint8(1))
+	f.Add(int64(-7), int64(99), uint8(5), uint8(6), uint8(19), uint8(11), uint8(4))
+	f.Fuzz(func(t *testing.T, gameSeed, solveSeed int64, clustersRaw, boundaryRaw, kRaw, lamRaw, poolRaw uint8) {
+		gsrc := rng.New(gameSeed)
+		clusters := 2 + int(clustersRaw)%4
+		perCluster := 2 + gsrc.Intn(8)
+		boundary := int(boundaryRaw) % 5
+		strategies := 2 + gsrc.Intn(6)
+		g, assign := clusteredGame(t, gsrc, clusters, perCluster, boundary, strategies, 3+gsrc.Intn(4))
+		lambda := float64(lamRaw%12) / 100
+		shortlist := int(kRaw) % 20 // 0 = default width
+		if shortlist == 19 {
+			shortlist = ShortlistFull // sometimes the exact path
+		}
+		cfg := CGBAConfig{Lambda: lambda, Shortlist: shortlist}
+		plan, err := NewShardPlan(clusters, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		res := runCGBASharded(t, g, cfg, plan, solveSeed, 0)
+		if !g.IsEquilibrium(res.Profile, lambda) {
+			t.Fatalf("clusters=%d boundary=%d k=%d λ=%v: not a certified global equilibrium",
+				clusters, boundary, shortlist, lambda)
+		}
+		size := 1 + int(poolRaw)%4
+		requireSameResult(t, "pooled repeat", runCGBASharded(t, g, cfg, plan, solveSeed, size), res)
+
+		// shards=1 must stay bit-identical to the unsharded path.
+		planOne, err := NewShardPlan(1, make([]int32, len(assign)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runCGBAPooled(t, g, cfg, solveSeed, 0)
+		requireSameResult(t, "shards=1", runCGBASharded(t, g, cfg, planOne, solveSeed, 0), want)
+	})
+}
+
+// Churn: after a structural mutation the plan is re-verified (the memo
+// keys on the structure generation), and a stale plan that no longer
+// matches the new player count is rejected.
+func TestCGBAShardedAfterMutation(t *testing.T) {
+	g, assign := clusteredGame(t, rng.New(751), 3, 8, 3, 6, 6)
+	plan, err := NewShardPlan(3, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g)
+	if _, err := e.CGBASharded(CGBAConfig{Lambda: 0.01}, plan, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the same content through a Builder to get a fresh game; the
+	// plan must be re-checked (different *Game pointer) and still work.
+	b := NewBuilder()
+	b.Reset(g.Resources())
+	copy(b.Weights(), g.weights)
+	for i := 0; i < g.Players(); i++ {
+		b.NextPlayer()
+		for s := 0; s < g.StrategyCount(i); s++ {
+			b.NextStrategy()
+			for _, u := range g.strategyUses(i, s) {
+				b.AddUse(int(u.res), u.w)
+			}
+		}
+	}
+	g2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine(g2)
+	res2, err := e2.CGBASharded(CGBAConfig{Lambda: 0.01}, plan, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := NewEngine(g2)
+	if err := eq.Reset(res2.Profile); err != nil {
+		t.Fatal(err)
+	}
+	if !eq.IsEquilibrium(0.01) {
+		t.Error("post-rebuild sharded result is not an equilibrium")
+	}
+}

@@ -1,0 +1,164 @@
+// Package shard partitions a topology into resource-disjoint clusters for
+// the sharded metro-scale slot solve (DESIGN.md §13).
+//
+// The P2-A congestion game couples devices only through shared resources:
+// a server's compute capacity and a station's access/fronthaul links. Two
+// devices that can never select the same station or reach the same server
+// are independent — their best responses commute. The coupling structure
+// is exactly the station–room graph: station k shares resources with
+// station k' iff some chain of stations and rooms connects them (a room is
+// shared whenever two stations' fronthauls reach it, and a station's
+// access/fronthaul links are its own). Connected components of that
+// bipartite graph are therefore resource-disjoint clusters, and a slot
+// solve factorizes into per-cluster games plus a boundary set of devices
+// covered by stations of more than one cluster.
+//
+// Partition computes the components with a union-find over stations and
+// rooms, then bins them into at most `target` shards by greedy
+// weight-balancing (heaviest component first onto the lightest bin). The
+// result is a pure function of the network's wiring and the target — no
+// RNG, no map iteration — so the same topology always yields the same
+// partition, on every machine and at every pool size. The shard-package
+// tests and the core shard×pool matrix tests enforce this.
+package shard
+
+import (
+	"sort"
+
+	"eotora/internal/topology"
+)
+
+// Partition is a deterministic decomposition of a network's stations,
+// rooms, and servers into resource-disjoint shards.
+type Partition struct {
+	// Shards is the number of bins actually used: min(target, Clusters),
+	// and at least 1.
+	Shards int
+	// Clusters is the number of connected components of the station–room
+	// graph — the finest decomposition available; requesting more shards
+	// than clusters cannot help.
+	Clusters int
+	// StationShard maps station index → shard.
+	StationShard []int32
+	// ServerShard maps server index → shard (via the server's room).
+	ServerShard []int32
+}
+
+// New computes the partition of net into at most target shards. target
+// values below 1 are treated as 1 (everything in one shard). The network
+// must be finalized (topology.Network.Finalize).
+func New(net *topology.Network, target int) Partition {
+	stations := len(net.BaseStations)
+	rooms := len(net.Rooms)
+	if target < 1 {
+		target = 1
+	}
+
+	// Union-find over stations [0, K) and rooms [K, K+M). Room IDs are
+	// arbitrary ints; index them by position with a dense remap.
+	roomIdx := make(map[int]int, rooms)
+	for m := range net.Rooms {
+		roomIdx[net.Rooms[m].ID] = m
+	}
+	parent := make([]int32, stations+rooms)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		// Deterministic orientation: the smaller root wins, so component
+		// roots are the lowest member index regardless of union order.
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	for k := range net.BaseStations {
+		for _, room := range net.BaseStations[k].Rooms {
+			union(int32(k), int32(stations+roomIdx[room]))
+		}
+	}
+
+	// Enumerate components in first-appearance order over stations then
+	// rooms (roots are minimal member indices, so this order is stable).
+	comp := make([]int32, stations+rooms)
+	compOf := make(map[int32]int32)
+	for i := range parent {
+		root := find(int32(i))
+		c, ok := compOf[root]
+		if !ok {
+			c = int32(len(compOf))
+			compOf[root] = c
+		}
+		comp[i] = c
+	}
+	clusters := len(compOf)
+
+	// Component weight: a proxy for solve cost. Servers dominate strategy
+	// counts (each covered station contributes its reachable servers), so
+	// weight by servers with stations as tie-mass.
+	weight := make([]int, clusters)
+	for k := 0; k < stations; k++ {
+		weight[comp[k]]++
+	}
+	for n := range net.Servers {
+		weight[comp[stations+roomIdx[net.Servers[n].Room]]] += 4
+	}
+
+	shards := target
+	if shards > clusters {
+		shards = clusters
+	}
+	if shards < 1 {
+		shards = 1
+	}
+
+	// Greedy balanced binning: components sorted by weight descending
+	// (ties: lower component index first), each assigned to the lightest
+	// bin (ties: lowest bin index). Deterministic by construction.
+	order := make([]int, clusters)
+	for c := range order {
+		order[c] = c
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return weight[order[a]] > weight[order[b]]
+	})
+	binOf := make([]int32, clusters)
+	binWeight := make([]int, shards)
+	for _, c := range order {
+		lightest := 0
+		for s := 1; s < shards; s++ {
+			if binWeight[s] < binWeight[lightest] {
+				lightest = s
+			}
+		}
+		binOf[c] = int32(lightest)
+		binWeight[lightest] += weight[c]
+	}
+
+	p := Partition{
+		Shards:       shards,
+		Clusters:     clusters,
+		StationShard: make([]int32, stations),
+		ServerShard:  make([]int32, len(net.Servers)),
+	}
+	for k := 0; k < stations; k++ {
+		p.StationShard[k] = binOf[comp[k]]
+	}
+	for n := range net.Servers {
+		p.ServerShard[n] = binOf[comp[stations+roomIdx[net.Servers[n].Room]]]
+	}
+	return p
+}

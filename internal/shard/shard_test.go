@@ -1,0 +1,109 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"eotora/internal/rng"
+	"eotora/internal/topology"
+)
+
+func metroNet(t *testing.T, devices int) *topology.Network {
+	t.Helper()
+	net, err := topology.Generate(topology.MetroSpec(devices), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// Same topology, same target → identical partition, call after call.
+func TestPartitionDeterministic(t *testing.T) {
+	net := metroNet(t, 50)
+	a := New(net, 8)
+	for i := 0; i < 5; i++ {
+		b := New(net, 8)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("partition %d differs:\n%+v\n%+v", i, b, a)
+		}
+	}
+	// And the same spec regenerated from the same seed partitions the same.
+	c := New(metroNet(t, 50), 8)
+	if !reflect.DeepEqual(a, c) {
+		t.Fatalf("regenerated topology partitions differently:\n%+v\n%+v", c, a)
+	}
+}
+
+// Stations that share a room (directly or transitively) must land in the
+// same shard; servers follow their room's shard.
+func TestPartitionRespectsAdjacency(t *testing.T) {
+	net := metroNet(t, 50)
+	p := New(net, 6)
+	roomShard := map[int]int32{}
+	for k, bs := range net.BaseStations {
+		for _, room := range bs.Rooms {
+			if prev, ok := roomShard[room]; ok {
+				if prev != p.StationShard[k] {
+					t.Fatalf("station %d in shard %d but room %d already in shard %d",
+						k, p.StationShard[k], room, prev)
+				}
+			} else {
+				roomShard[room] = p.StationShard[k]
+			}
+		}
+	}
+	for n, srv := range net.Servers {
+		if want, ok := roomShard[srv.Room]; ok && p.ServerShard[n] != want {
+			t.Fatalf("server %d in shard %d, its room %d's stations in shard %d",
+				n, p.ServerShard[n], srv.Room, want)
+		}
+	}
+}
+
+// The metro spec is built to decompose: many clusters, and a target below
+// the cluster count bins them with every shard non-empty.
+func TestPartitionBinning(t *testing.T) {
+	net := metroNet(t, 50)
+	p := New(net, 4)
+	if p.Clusters < 8 {
+		t.Fatalf("metro spec yields %d clusters, want a decomposable topology (≥ 8)", p.Clusters)
+	}
+	if p.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4", p.Shards)
+	}
+	seen := make([]bool, p.Shards)
+	for _, s := range p.StationShard {
+		if s < 0 || int(s) >= p.Shards {
+			t.Fatalf("station shard %d outside [0, %d)", s, p.Shards)
+		}
+		seen[s] = true
+	}
+	for s, ok := range seen {
+		if !ok {
+			t.Fatalf("shard %d has no stations", s)
+		}
+	}
+}
+
+// A target beyond the cluster count clamps; a target below 1 means one
+// shard; an umbrella topology (DefaultSpec) is a single cluster.
+func TestPartitionClamping(t *testing.T) {
+	net := metroNet(t, 50)
+	p := New(net, 1<<20)
+	if p.Shards != p.Clusters {
+		t.Fatalf("Shards = %d, want clamp to Clusters = %d", p.Shards, p.Clusters)
+	}
+	if one := New(net, 0); one.Shards != 1 {
+		t.Fatalf("target 0: Shards = %d, want 1", one.Shards)
+	}
+
+	campus, err := topology.Generate(topology.CampusSpec(20), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := New(campus, 8)
+	if pc.Clusters != 1 || pc.Shards != 1 {
+		t.Fatalf("campus topology: Clusters = %d, Shards = %d, want 1, 1 (wireless fronthaul couples every station)",
+			pc.Clusters, pc.Shards)
+	}
+}

@@ -69,6 +69,7 @@ type Metrics struct {
 	ActiveDevices    []int           // population size after the slot's churn
 	ActiveServers    []int           // servers present after the slot's churn
 	ChurnEvents      []int           // churn events applied this slot
+	ShardGap         []float64       // sharded-vs-unsharded gap (NaN = slot not audited)
 
 	// PerDevice[t][i] is device i's latency at slot t; non-nil only when
 	// Config.RecordPerDevice was set.
@@ -105,6 +106,34 @@ func (m *Metrics) AvgProcLatency() float64 { return stats.Mean(m.steady(m.ProcLa
 // AvgFairness returns the post-warmup average Jain fairness index of the
 // per-device latencies.
 func (m *Metrics) AvgFairness() float64 { return stats.Mean(m.steady(m.Fairness)) }
+
+// AvgShardGap returns the mean sharded-vs-unsharded optimality gap over
+// the audited slots (core.Controller.SetShardAudit), or NaN when no slot
+// was audited.
+func (m *Metrics) AvgShardGap() float64 {
+	sum, n := 0.0, 0
+	for _, g := range m.ShardGap {
+		if !math.IsNaN(g) {
+			sum += g
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// AuditedSlots returns how many recorded slots ran the shard audit.
+func (m *Metrics) AuditedSlots() int {
+	n := 0
+	for _, g := range m.ShardGap {
+		if !math.IsNaN(g) {
+			n++
+		}
+	}
+	return n
+}
 
 // AvgDecisionTime returns the mean per-slot decision wall time.
 func (m *Metrics) AvgDecisionTime() time.Duration {
@@ -218,6 +247,7 @@ func newMetrics(ctrl *core.Controller, cfg Config) *Metrics {
 		ActiveDevices:    make([]int, 0, cfg.Slots),
 		ActiveServers:    make([]int, 0, cfg.Slots),
 		ChurnEvents:      make([]int, 0, cfg.Slots),
+		ShardGap:         make([]float64, 0, cfg.Slots),
 		recordPerDevice:  cfg.RecordPerDevice,
 	}
 }
@@ -245,6 +275,11 @@ func (m *Metrics) step(ctrl *core.Controller, src trace.Source, s int) error {
 	m.ActiveDevices = append(m.ActiveDevices, st.ActiveDevices(devices))
 	m.ActiveServers = append(m.ActiveServers, st.ActiveServers(servers))
 	m.ChurnEvents = append(m.ChurnEvents, len(st.Churn))
+	gap := math.NaN()
+	if res.ShardAudited {
+		gap = res.ShardGap
+	}
+	m.ShardGap = append(m.ShardGap, gap)
 	if m.recordPerDevice {
 		row := make([]float64, len(res.PerDevice))
 		for i, lb := range res.PerDevice {
@@ -308,6 +343,10 @@ func (m *Metrics) Summary(w io.Writer) error {
 		fmt.Fprintf(&b, "  avg Jain fairness:  %.3f\n", f)
 	}
 	fmt.Fprintf(&b, "  avg decision time:  %v/slot\n", m.AvgDecisionTime())
+	if a := m.AuditedSlots(); a > 0 {
+		fmt.Fprintf(&b, "  avg shard gap:      %+.4f%% over %d audited slots (DESIGN.md §13)\n",
+			m.AvgShardGap()*100, a)
+	}
 	if d := m.DegradedSlots(); d > 0 {
 		fmt.Fprintf(&b, "  degraded slots:     %d of %d (fallback ladder; see OPERATIONS.md)\n", d, m.Slots())
 	}

@@ -67,6 +67,18 @@ func (d *Deadline) Active() bool {
 	return d != nil && (d.timed || d.counted)
 }
 
+// ExpireTime returns the wall-clock expiry instant and whether a timed
+// budget is armed. Unlike Expired it mutates nothing — no checkpoint is
+// consumed and expiry does not stick — so the snapshot may be compared
+// against the clock from concurrent shard workers while the owning
+// goroutine keeps sole use of the stateful polls. Nil-safe.
+func (d *Deadline) ExpireTime() (time.Time, bool) {
+	if d == nil || !d.timed {
+		return time.Time{}, false
+	}
+	return d.expireAt, true
+}
+
 // Expired is the per-checkpoint poll: it reports whether either budget is
 // exhausted, consuming one checkpoint from the counted budget when armed.
 // Expiry is sticky until the next Start. Nil or unarmed deadlines never

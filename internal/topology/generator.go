@@ -19,6 +19,13 @@ const (
 	// in the area — the classic cellular planning layout. Umbrella
 	// stations remain random.
 	LayoutHex
+	// LayoutGrid places mid-band stations on a ⌈√n⌉-column rectangular
+	// grid of cell centers spanning the whole area. Unlike LayoutHex
+	// (which packs the n closest lattice points around the center), the
+	// grid guarantees full-area coverage whenever the coverage radius is
+	// at least half a cell diagonal — the property the umbrella-free
+	// metro spec relies on.
+	LayoutGrid
 )
 
 func (l Layout) String() string {
@@ -27,6 +34,8 @@ func (l Layout) String() string {
 		return "random"
 	case LayoutHex:
 		return "hex"
+	case LayoutGrid:
+		return "grid"
 	default:
 		return fmt.Sprintf("Layout(%d)", int(l))
 	}
@@ -65,6 +74,15 @@ type Spec struct {
 	// fronthaul connected to every room instead of the paper's default of
 	// wired fiber to one random room.
 	WirelessFronthaul bool
+	// NearestRoomFronthaul, when true, wires each station's fiber
+	// fronthaul to the geographically nearest room instead of a random
+	// one. Nearest-room wiring keeps the station–room graph local, so a
+	// metro deployment factorizes into many resource-disjoint clusters
+	// (see internal/shard). Ignored under WirelessFronthaul. The random
+	// room pick is still drawn (and discarded) so every other draw
+	// sequence — positions, bandwidths, devices, suitabilities — is
+	// unchanged by the flag.
+	NearestRoomFronthaul bool
 
 	// SmallCores/LargeCores are the two server sizes (paper: 64 and 128,
 	// half of the servers each).
@@ -80,8 +98,14 @@ type Spec struct {
 	// uniformly from [0, DeviceSpeedMax].
 	DeviceSpeedMax float64
 
-	// Layout places the mid-band stations (LayoutRandom or LayoutHex).
+	// Layout places the mid-band stations (LayoutRandom, LayoutHex, or
+	// LayoutGrid).
 	Layout Layout
+	// RoomGrid, when true, places rooms on a ⌈√M⌉-column grid of cell
+	// centers spanning the area instead of the default single row across
+	// the middle. Room placement never consumes generator draws, so this
+	// has no effect on any random sequence.
+	RoomGrid bool
 }
 
 // DefaultSpec returns the paper's Section VI-A simulation configuration:
@@ -157,13 +181,19 @@ func Generate(spec Spec, src *rng.Source) (*Network, error) {
 	n := &Network{}
 
 	// Rooms sit at fixed fractions of the area so mid-band stations near
-	// either room have plausible fronthaul distances.
+	// either room have plausible fronthaul distances. Under RoomGrid they
+	// spread over a 2-D grid instead of a row. Neither placement consumes
+	// generator draws.
+	roomGrid := gridLattice(spec.AreaSize, spec.Rooms)
 	for m := 0; m < spec.Rooms; m++ {
-		frac := (float64(m) + 0.5) / float64(spec.Rooms)
+		pos := Point{X: (float64(m) + 0.5) / float64(spec.Rooms) * spec.AreaSize, Y: 0.5 * spec.AreaSize}
+		if spec.RoomGrid {
+			pos = roomGrid[m]
+		}
 		n.Rooms = append(n.Rooms, Room{
 			ID:   m,
 			Name: fmt.Sprintf("room-%d", m),
-			Pos:  Point{X: frac * spec.AreaSize, Y: 0.5 * spec.AreaSize},
+			Pos:  pos,
 		})
 	}
 
@@ -172,6 +202,7 @@ func Generate(spec Spec, src *rng.Source) (*Network, error) {
 	// placed per spec.Layout.
 	diag := spec.AreaSize * 1.4143 // ≥ diagonal of the square
 	hexPositions := hexLattice(spec.AreaSize, spec.MidBandRadius, spec.Stations-spec.UmbrellaStations)
+	gridPositions := gridLattice(spec.AreaSize, spec.Stations-spec.UmbrellaStations)
 	for k := 0; k < spec.Stations; k++ {
 		bs := BaseStation{
 			ID:                 k,
@@ -187,8 +218,11 @@ func Generate(spec Spec, src *rng.Source) (*Network, error) {
 		} else {
 			bs.Band = MidBand
 			bs.CoverageRadius = spec.MidBandRadius
-			if spec.Layout == LayoutHex {
+			switch spec.Layout {
+			case LayoutHex:
 				bs.Pos = hexPositions[k-spec.UmbrellaStations]
+			case LayoutGrid:
+				bs.Pos = gridPositions[k-spec.UmbrellaStations]
 			}
 		}
 		if spec.WirelessFronthaul {
@@ -199,7 +233,18 @@ func Generate(spec Spec, src *rng.Source) (*Network, error) {
 			}
 		} else {
 			bs.Fronthaul = WiredFiber
-			bs.Rooms = []int{src.Intn(spec.Rooms)}
+			room := src.Intn(spec.Rooms)
+			if spec.NearestRoomFronthaul {
+				// The random pick above is drawn regardless so the flag
+				// perturbs no other sequence.
+				room = 0
+				for m := 1; m < spec.Rooms; m++ {
+					if bs.Pos.DistanceTo(n.Rooms[m].Pos) < bs.Pos.DistanceTo(n.Rooms[room].Pos) {
+						room = m
+					}
+				}
+			}
+			bs.Rooms = []int{room}
 		}
 		n.BaseStations = append(n.BaseStations, bs)
 	}
@@ -302,6 +347,32 @@ func hexLattice(area, radius float64, n int) []Point {
 	return pts[:n]
 }
 
+// gridLattice returns n cell centers of a ⌈√n⌉-column rectangular grid
+// tiling the square area: cols = ⌈√n⌉, rows = ⌈n/cols⌉, point i at the
+// center of cell (i%cols, i/cols). Every point of the area lies within
+// half a cell diagonal of some center, so a coverage radius of at least
+// 0.5·√((area/cols)² + (area/rows)²) covers the whole area.
+func gridLattice(area float64, n int) []Point {
+	if n <= 0 {
+		return nil
+	}
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	rows := (n + cols - 1) / cols
+	w := area / float64(cols)
+	h := area / float64(rows)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			X: (float64(i%cols) + 0.5) * w,
+			Y: (float64(i/cols) + 0.5) * h,
+		}
+	}
+	return pts
+}
+
 // UrbanSpec is a dense city deployment: more, smaller mid-band cells over
 // a compact area, faster devices (vehicles mixed with pedestrians), and
 // all large-core servers in more rooms.
@@ -346,4 +417,47 @@ func CampusSpec(devices int) Spec {
 	s.WirelessFronthaul = true
 	s.Layout = LayoutHex
 	return s
+}
+
+// MetroSpec is the metro-scale deployment the sharded slot solver (DESIGN
+// §13) targets: a 7×7 grid of mid-band cells over a 5 km square with no
+// umbrella stations (an umbrella would put every device in every cluster
+// and defeat sharding), a 5×5 grid of small server rooms, and
+// nearest-room fiber fronthaul so the station–room graph decomposes into
+// many resource-disjoint clusters. The 520 m radius sits just above the
+// grid's ~505 m coverage bound (half a cell diagonal), so every device is
+// covered yet the multi-coverage overlap — the boundary set the sharded
+// solve reconciles serially — stays a small fraction of the population.
+// Mixed pedestrian/vehicular mobility.
+func MetroSpec(devices int) Spec {
+	s := DefaultSpec(devices)
+	s.Stations = 49
+	s.UmbrellaStations = 0
+	s.AreaSize = 5000
+	s.MidBandRadius = 520
+	s.Rooms = 25
+	s.ServersPerRoom = 4
+	s.Layout = LayoutGrid
+	s.RoomGrid = true
+	s.NearestRoomFronthaul = true
+	s.DeviceSpeedMax = 8
+	return s
+}
+
+// SpecByName resolves a scenario preset by its CLI name: "default",
+// "urban", "rural", "campus", or "metro".
+func SpecByName(name string, devices int) (Spec, error) {
+	switch name {
+	case "", "default":
+		return DefaultSpec(devices), nil
+	case "urban":
+		return UrbanSpec(devices), nil
+	case "rural":
+		return RuralSpec(devices), nil
+	case "campus":
+		return CampusSpec(devices), nil
+	case "metro":
+		return MetroSpec(devices), nil
+	}
+	return Spec{}, fmt.Errorf("topology: unknown preset %q (want default, urban, rural, campus, or metro)", name)
 }

@@ -437,7 +437,7 @@ func TestGenerateRejectsBadSpec(t *testing.T) {
 }
 
 func TestLayoutStrings(t *testing.T) {
-	if LayoutRandom.String() != "random" || LayoutHex.String() != "hex" {
+	if LayoutRandom.String() != "random" || LayoutHex.String() != "hex" || LayoutGrid.String() != "grid" {
 		t.Error("layout strings wrong")
 	}
 	if Layout(7).String() != "Layout(7)" {
@@ -512,11 +512,134 @@ func TestGenerateHexLayout(t *testing.T) {
 	}
 }
 
+func TestGridLattice(t *testing.T) {
+	pts := gridLattice(5000, 49)
+	if len(pts) != 49 {
+		t.Fatalf("points = %d, want 49", len(pts))
+	}
+	// 49 points → a 7×7 grid of cell centers, cell size 5000/7.
+	cell := 5000.0 / 7
+	for i, p := range pts {
+		wantX := (float64(i%7) + 0.5) * cell
+		wantY := (float64(i/7) + 0.5) * cell
+		if p.X != wantX || p.Y != wantY {
+			t.Errorf("point %d = %+v, want (%.1f, %.1f)", i, p, wantX, wantY)
+		}
+	}
+	// Coverage guarantee: every point of the area lies within half a cell
+	// diagonal (~505 m here) of some center — probe a fine sample grid.
+	halfDiag := 0.5 * 1.4142136 * cell
+	for x := 0.0; x <= 5000; x += 97 {
+		for y := 0.0; y <= 5000; y += 97 {
+			probe := Point{X: x, Y: y}
+			best := probe.DistanceTo(pts[0])
+			for _, p := range pts[1:] {
+				if d := probe.DistanceTo(p); d < best {
+					best = d
+				}
+			}
+			if best > halfDiag+1e-9 {
+				t.Fatalf("probe (%.0f, %.0f) is %.1fm from nearest center, want ≤ %.1f", x, y, best, halfDiag)
+			}
+		}
+	}
+	if gridLattice(5000, 0) != nil {
+		t.Error("zero points should be nil")
+	}
+	// Non-square counts still produce exactly n points inside the area.
+	for _, n := range []int{1, 2, 5, 12, 23} {
+		got := gridLattice(1000, n)
+		if len(got) != n {
+			t.Errorf("gridLattice(1000, %d) = %d points", n, len(got))
+		}
+		for _, p := range got {
+			if p.X < 0 || p.X > 1000 || p.Y < 0 || p.Y > 1000 {
+				t.Errorf("gridLattice(1000, %d) point outside area: %+v", n, p)
+			}
+		}
+	}
+}
+
+func TestNearestRoomFronthaul(t *testing.T) {
+	spec := DefaultSpec(30)
+	spec.NearestRoomFronthaul = true
+	net, err := Generate(spec, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, bs := range net.BaseStations {
+		if len(bs.Rooms) != 1 {
+			t.Fatalf("station %d wired to %d rooms, want 1", k, len(bs.Rooms))
+		}
+		got := bs.Rooms[0]
+		for m := range net.Rooms {
+			if bs.Pos.DistanceTo(net.Rooms[m].Pos) < bs.Pos.DistanceTo(net.Rooms[got].Pos) {
+				t.Errorf("station %d wired to room %d but room %d is closer", k, got, m)
+			}
+		}
+	}
+	// Skipping the room draw must not perturb any other sequence: station
+	// positions, bandwidths, devices, and suitabilities are identical to
+	// the random-wiring network from the same seed.
+	random, err := Generate(DefaultSpec(30), rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range net.BaseStations {
+		a, b := net.BaseStations[k], random.BaseStations[k]
+		if a.Pos != b.Pos || a.AccessBandwidth != b.AccessBandwidth || a.FronthaulBandwidth != b.FronthaulBandwidth {
+			t.Errorf("station %d draws differ between nearest-room and random wiring", k)
+		}
+	}
+	for i := range net.Devices {
+		if net.Devices[i].Pos != random.Devices[i].Pos || net.Devices[i].Speed != random.Devices[i].Speed {
+			t.Errorf("device %d draws differ between nearest-room and random wiring", i)
+		}
+	}
+}
+
+func TestMetroSpec(t *testing.T) {
+	spec := MetroSpec(200)
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if spec.UmbrellaStations != 0 {
+		t.Error("metro must have no umbrella stations (they would couple every cluster)")
+	}
+	if !spec.NearestRoomFronthaul || !spec.RoomGrid || spec.Layout != LayoutGrid {
+		t.Error("metro should use grid layouts and nearest-room wiring")
+	}
+	net, err := Generate(spec, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full coverage without umbrellas: Generate already runs CheckFeasible,
+	// but assert it explicitly — this is the property the spec's geometry
+	// (grid spacing vs. 600 m radius) exists to guarantee.
+	if err := net.CheckFeasible(); err != nil {
+		t.Fatal(err)
+	}
+	// Every room should end up with at least one wired station; otherwise
+	// its servers would be dead weight.
+	wired := make([]bool, spec.Rooms)
+	for _, bs := range net.BaseStations {
+		for _, m := range bs.Rooms {
+			wired[m] = true
+		}
+	}
+	for m, ok := range wired {
+		if !ok {
+			t.Errorf("room %d has no wired station", m)
+		}
+	}
+}
+
 func TestScenarioPresets(t *testing.T) {
 	presets := map[string]Spec{
 		"urban":  UrbanSpec(40),
 		"rural":  RuralSpec(40),
 		"campus": CampusSpec(40),
+		"metro":  MetroSpec(40),
 	}
 	for name, spec := range presets {
 		t.Run(name, func(t *testing.T) {
