@@ -6,7 +6,7 @@ GO ?= go
 BENCHTIME ?= 1s
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
-.PHONY: all verify build lint vet test race cover fuzz soak bench bench-json bench-quick examples paper clean
+.PHONY: all verify build lint vet test race cover fuzz soak bench bench-json bench-quick examples paper smoke-serve serve-demo clean
 
 all: build vet test
 
@@ -25,7 +25,7 @@ build:
 lint: vet
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
-	$(GO) run ./cmd/doccheck ./internal/core ./internal/game ./internal/obs ./internal/par ./internal/faults ./internal/trace ./internal/solver
+	$(GO) run ./cmd/doccheck ./internal/core ./internal/game ./internal/obs ./internal/par ./internal/faults ./internal/trace ./internal/solver ./internal/serve
 	$(GO) run ./cmd/linkcheck .
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
@@ -80,6 +80,20 @@ bench-json: bench
 # benchmark body without timing them (part of verify).
 bench-quick:
 	$(GO) test -run=^$$ -bench=. -benchmem -benchtime=1x ./internal/...
+
+# End-to-end serve-mode smoke: boot cmd/eotorad, stream 200 slots of
+# state diffs through cmd/loadgen in lockstep, scrape /metrics, and gate
+# on zero shed + zero degraded slots (the CI serve-smoke job). See
+# OPERATIONS.md §11.
+smoke-serve:
+	sh scripts/serve_smoke.sh
+
+# The EXPERIMENTS.md serve-mode appendix run: a nominal-rate leg writing
+# the per-slot stream CSV (serve_stream.csv) plus a deterministic
+# overload leg demonstrating shed accounting and backpressure
+# escalation.
+serve-demo:
+	sh scripts/serve_demo.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"eotora/internal/lyapunov"
+	"eotora/internal/units"
 )
 
 // Checkpoint is the serializable resume state of a Controller. Because the
@@ -28,6 +29,17 @@ type Checkpoint struct {
 	// RoomBacklogs holds per-room backlogs in per-room budget mode; nil
 	// otherwise.
 	RoomBacklogs map[int]float64 `json:"room_backlogs,omitempty"`
+	// PrevStation/PrevServer/PrevFreq carry the previous slot's decision
+	// backing the RungPrevious fallback, so a controller restored under a
+	// slot deadline can still re-price the pre-restart decision instead
+	// of dropping straight to the greedy rung on its first deadline miss.
+	// Empty on controllers that never armed a deadline (the fields are
+	// only maintained when a slot budget is configured).
+	PrevStation []int `json:"prev_station,omitempty"`
+	// PrevServer mirrors PrevStation for the server choice.
+	PrevServer []int `json:"prev_server,omitempty"`
+	// PrevFreq holds the previous slot's frequency vector in Hz.
+	PrevFreq []float64 `json:"prev_freq,omitempty"`
 }
 
 // Checkpoint captures the controller's resume state.
@@ -42,6 +54,14 @@ func (c *Controller) Checkpoint() Checkpoint {
 	if c.rooms != nil {
 		cp.RoomBacklogs = c.rooms.Backlogs()
 		cp.Backlog = c.rooms.TotalBacklog()
+	}
+	if c.havePrev {
+		cp.PrevStation = append([]int(nil), c.prevSel.Station...)
+		cp.PrevServer = append([]int(nil), c.prevSel.Server...)
+		cp.PrevFreq = make([]float64, len(c.prevFreq))
+		for n, f := range c.prevFreq {
+			cp.PrevFreq[n] = float64(f)
+		}
 	}
 	return cp
 }
@@ -74,10 +94,23 @@ func (c *Controller) Restore(cp Checkpoint) error {
 			c.rooms.Set(room, backlog)
 		}
 	}
+	if len(cp.PrevStation) != len(cp.PrevServer) {
+		return fmt.Errorf("core: checkpoint previous decision has %d stations, %d servers",
+			len(cp.PrevStation), len(cp.PrevServer))
+	}
 	c.slot = cp.Slot
 	// Rebuild the scalar queue at the recorded backlog (unused but kept
 	// consistent in per-room mode).
 	c.dpp.Queue = lyapunov.NewQueue(cp.Backlog)
+	// Rehydrate the RungPrevious fallback state, reusing capacity like
+	// the per-slot path does.
+	c.havePrev = len(cp.PrevStation) > 0
+	c.prevSel.Station = append(c.prevSel.Station[:0], cp.PrevStation...)
+	c.prevSel.Server = append(c.prevSel.Server[:0], cp.PrevServer...)
+	c.prevFreq = c.prevFreq[:0]
+	for _, f := range cp.PrevFreq {
+		c.prevFreq = append(c.prevFreq, units.Frequency(f))
+	}
 	return nil
 }
 

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestCheckpointCarriesPreviousDecision asserts the RungPrevious
+// continuity state survives a checkpoint/restore: a controller running
+// under a counted slot budget checkpoints its previous decision, a fresh
+// controller restores it, and a post-restore reprice reproduces the
+// uninterrupted twin's reprice bit for bit — instead of failing for want
+// of a previous decision and dropping the ladder straight to greedy.
+func TestCheckpointCarriesPreviousDecision(t *testing.T) {
+	sysA, genA := buildSystem(t, 10, 81)
+	sysB, genB := buildSystem(t, 10, 81)
+	ctrlA, err := NewBDMAController(sysA, 110, 3, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlB, err := NewBDMAController(sysB, 110, 3, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A generous counted budget arms the ladder (so the previous decision
+	// is maintained) without ever degrading the warmup slots.
+	ctrlA.SetSlotDeadline(0, 1<<30)
+	ctrlB.SetSlotDeadline(0, 1<<30)
+
+	for slot := 0; slot < 3; slot++ {
+		genB.Next()
+		if _, err := ctrlA.Step(genA.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp := ctrlA.Checkpoint()
+	if len(cp.PrevStation) == 0 || len(cp.PrevServer) != len(cp.PrevStation) || len(cp.PrevFreq) == 0 {
+		t.Fatalf("checkpoint previous decision empty: %d stations, %d servers, %d freqs",
+			len(cp.PrevStation), len(cp.PrevServer), len(cp.PrevFreq))
+	}
+	// Without the restore, a fresh controller has no previous decision and
+	// the RungPrevious rung is unreachable.
+	stA, stB := genA.Next(), genB.Next()
+	if _, err := ctrlB.repriceDecision(stB); err == nil {
+		t.Fatal("fresh controller repriced without a previous decision")
+	}
+	if err := ctrlB.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+
+	resA, err := ctrlA.repriceDecision(stA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := ctrlB.repriceDecision(stB)
+	if err != nil {
+		t.Fatalf("restored controller failed to reprice: %v", err)
+	}
+	if math.Float64bits(resA.Objective) != math.Float64bits(resB.Objective) {
+		t.Fatalf("repriced objectives diverge: %v, %v", resA.Objective, resB.Objective)
+	}
+	for i := range resA.Selection.Station {
+		if resA.Selection.Station[i] != resB.Selection.Station[i] ||
+			resA.Selection.Server[i] != resB.Selection.Server[i] {
+			t.Fatalf("device %d repriced selections diverge", i)
+		}
+	}
+	for n := range resA.Freq {
+		if resA.Freq[n] != resB.Freq[n] {
+			t.Fatalf("server %d repriced frequencies diverge", n)
+		}
+	}
+}
+
+// TestRestoreRejectsMismatchedPreviousDecision asserts the checkpoint
+// guard on ragged previous-decision vectors.
+func TestRestoreRejectsMismatchedPreviousDecision(t *testing.T) {
+	sys, gen := buildSystem(t, 8, 83)
+	ctrl, err := NewBDMAController(sys, 110, 3, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Step(gen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	cp := ctrl.Checkpoint()
+	cp.PrevStation = []int{1, 2}
+	cp.PrevServer = []int{1}
+	if err := ctrl.Restore(cp); err == nil || !strings.Contains(err.Error(), "previous decision") {
+		t.Fatalf("ragged previous decision accepted: %v", err)
+	}
+}

@@ -1,0 +1,199 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"eotora/internal/obs"
+	"eotora/internal/serve"
+)
+
+// postJSON posts v as JSON and decodes the reply into out when non-nil.
+func postJSON(t *testing.T, url string, v, out any) *http.Response {
+	t.Helper()
+	var body bytes.Buffer
+	if v != nil {
+		if err := json.NewEncoder(&body).Encode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode/100 == 2 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+// getJSON fetches url and decodes the reply into out when the status is
+// 2xx and out is non-nil.
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode/100 == 2 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+// TestHTTPAPI exercises the full endpoint surface over a live server:
+// ingest, lockstep ticking, latest/long-poll decisions, status, snapshot
+// download, and the metrics gate.
+func TestHTTPAPI(t *testing.T) {
+	sys, gen := buildSystem(t, 8, 71)
+	daemon, err := serve.NewDaemon(newController(t, sys), gen.Next(), serve.Config{QueueCap: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(daemon.Handler())
+	defer srv.Close()
+
+	// No decision yet: latest polls get 204, status shows slot 0.
+	if resp := getJSON(t, srv.URL+"/v1/decisions", nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("decisions before any tick: %s", resp.Status)
+	}
+	var st serve.Status
+	getJSON(t, srv.URL+"/v1/status", &st)
+	if st.Slot != 0 || st.QueueCap != 128 {
+		t.Fatalf("initial status: slot %d, cap %d", st.Slot, st.QueueCap)
+	}
+
+	// Ingest a batch, one invalid event included.
+	var ing serve.IngestResponse
+	postJSON(t, srv.URL+"/v1/events", []serve.Event{
+		{Kind: serve.KindPrice, Value: 61},
+		{Kind: serve.KindDemand, Device: -1, Task: 1, Data: 1},
+	}, &ing)
+	if ing.Accepted != 2 || ing.Shed != 0 || ing.QueueDepth != 2 {
+		t.Fatalf("ingest response: %+v", ing)
+	}
+
+	// Lockstep tick applies the batch and returns the decision.
+	var dec serve.Decision
+	postJSON(t, srv.URL+"/v1/tick", nil, &dec)
+	if dec.Slot != 1 || dec.EventsApplied != 1 || dec.EventsInvalid != 1 {
+		t.Fatalf("tick decision: slot %d, applied %d, invalid %d", dec.Slot, dec.EventsApplied, dec.EventsInvalid)
+	}
+
+	// Latest honors since; long-poll returns the published slot and times
+	// out with 204 when nothing newer arrives.
+	var latest serve.Decision
+	if resp := getJSON(t, srv.URL+"/v1/decisions?since=0", &latest); resp.StatusCode != http.StatusOK || latest.Slot != 1 {
+		t.Fatalf("latest since=0: %s slot %d", resp.Status, latest.Slot)
+	}
+	if resp := getJSON(t, srv.URL+"/v1/decisions?since=1", nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("latest since=1: %s", resp.Status)
+	}
+	if resp := getJSON(t, srv.URL+"/v1/decisions?since=1&wait=10ms", nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("long-poll timeout: %s", resp.Status)
+	}
+	if resp := getJSON(t, srv.URL+"/v1/decisions?since=0&wait=1s", &latest); resp.StatusCode != http.StatusOK {
+		t.Fatalf("long-poll with published slot: %s", resp.Status)
+	}
+
+	// Snapshot downloads, parses, and restores.
+	resp, err := http.Get(srv.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := serve.ReadSnapshot(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Ticks != 1 {
+		t.Fatalf("snapshot ticks %d", snap.Ticks)
+	}
+	if err := daemon.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Metrics: 404 without a registry, live JSON with one.
+	if resp := getJSON(t, srv.URL+"/metrics", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("metrics without registry: %s", resp.Status)
+	}
+	daemon.SetObs(obs.New())
+	postJSON(t, srv.URL+"/v1/tick", nil, nil)
+	var metrics obs.Snapshot
+	if resp := getJSON(t, srv.URL+"/metrics", &metrics); resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics with registry: %s", resp.Status)
+	}
+	if metrics.Counters["serve.ticks"] != 1 {
+		t.Fatalf("serve.ticks = %d, want 1", metrics.Counters["serve.ticks"])
+	}
+
+	// Wrong methods are rejected.
+	for _, bad := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/events"},
+		{http.MethodGet, "/v1/tick"},
+		{http.MethodPost, "/v1/decisions"},
+		{http.MethodPost, "/v1/status"},
+		{http.MethodPost, "/v1/snapshot"},
+		{http.MethodPost, "/metrics"},
+	} {
+		req, err := http.NewRequest(bad.method, srv.URL+bad.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: %s", bad.method, bad.path, resp.Status)
+		}
+	}
+
+	// Malformed ingest bodies are a client error, not a daemon fault.
+	if resp := postJSON(t, srv.URL+"/v1/events", "not an array", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed ingest: %s", resp.Status)
+	}
+	if resp := getJSON(t, srv.URL+"/v1/decisions?since=banana", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed since: %s", resp.Status)
+	}
+	if resp := getJSON(t, srv.URL+"/v1/decisions?wait=-1s", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed wait: %s", resp.Status)
+	}
+}
+
+// TestHTTPIngestBodyBound asserts the 16 MiB request-body bound rejects an
+// oversized batch before it reaches the queue.
+func TestHTTPIngestBodyBound(t *testing.T) {
+	sys, gen := buildSystem(t, 8, 73)
+	daemon, err := serve.NewDaemon(newController(t, sys), gen.Next(), serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(daemon.Handler())
+	defer srv.Close()
+
+	// One giant event whose JSON body alone crosses the bound.
+	huge := fmt.Sprintf(`[{"kind":"price","value":1%s}]`, bytes.Repeat([]byte("0"), 17<<20))
+	resp, err := http.Post(srv.URL+"/v1/events", "application/json", bytes.NewReader([]byte(huge)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body: %s", resp.Status)
+	}
+	if st := daemon.Status(); st.EventsIngested != 0 {
+		t.Fatalf("oversized body reached the queue: %d", st.EventsIngested)
+	}
+}

@@ -1,0 +1,87 @@
+#!/bin/sh
+# serve_demo.sh — the EXPERIMENTS.md serve-mode appendix run: two
+# deterministic loadgen passes against cmd/eotorad in lockstep mode.
+#
+# Leg 1 (nominal): an uncapped queue absorbs the full diff stream; the
+# per-slot CSV (serve_stream.csv) records ingest rate vs slot latency with
+# zero shed and zero degraded slots.
+#
+# Leg 2 (overload): the queue is capped far below the per-slot event rate
+# with a small apply batch, so the bounded queue saturates and sheds the
+# overflow while backpressure escalation (a one-check slot budget) forces
+# the saturated slots down the degradation ladder — the shed/degraded
+# accounting the appendix tabulates. Both legs are seeded, so the numbers
+# reproduce across runs (wall-clock latency aside).
+#
+# Environment overrides: SLOTS (default 200), DEVICES (150), PORT (18081),
+# OUT (serve_stream.csv).
+set -eu
+
+SLOTS="${SLOTS:-200}"
+DEVICES="${DEVICES:-150}"
+PORT="${PORT:-18081}"
+ADDR="http://127.0.0.1:$PORT"
+OUT="${OUT:-serve_stream.csv}"
+
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+boot() {
+    "$workdir/eotorad" "$@" &
+    daemon_pid=$!
+    i=0
+    until curl -fsS "$ADDR/v1/status" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "eotorad did not come up on $ADDR" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+halt() {
+    kill -TERM "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+    daemon_pid=""
+}
+
+summarize() {
+    # CSV columns: slot,events,accepted,shed,rung,elapsed_us,backlog
+    awk -F, 'NR > 1 {
+        n++; events += $2; us += $6
+        if ($6 > worst) worst = $6
+        if ($5 > 0) degraded++
+    } END {
+        printf "    %d slots, %.0f events/slot, mean slot %.1f ms, worst %.1f ms, degraded %d\n",
+            n, events / n, us / n / 1000, worst / 1000, degraded
+    }' "$1"
+}
+
+echo "== building eotorad and loadgen"
+go build -o "$workdir/eotorad" ./cmd/eotorad
+go build -o "$workdir/loadgen" ./cmd/loadgen
+
+echo "== leg 1: nominal rate ($DEVICES devices, $SLOTS slots, uncapped queue)"
+boot -listen "127.0.0.1:$PORT" -devices "$DEVICES" -tick 0
+"$workdir/loadgen" -addr "$ADDR" -devices "$DEVICES" -slots "$SLOTS" -csv >"$OUT"
+summarize "$OUT"
+halt
+
+echo "== leg 2: overload (queue-cap 256, max-batch 64, escalation armed)"
+boot -listen "127.0.0.1:$PORT" -devices "$DEVICES" -tick 0 \
+    -queue-cap 256 -max-batch 64 -degrade-at 0.5 -escalate-checks 1
+"$workdir/loadgen" -addr "$ADDR" -devices "$DEVICES" -slots "$SLOTS" \
+    -csv >"$workdir/overload.csv" || true
+summarize "$workdir/overload.csv"
+curl -fsS "$ADDR/v1/status" | tr -d ' \n' | sed 's/,"/\n    "/g' |
+    grep -E 'events_shed|events_ingested|degraded_slots|escalations|queue_depth'
+echo
+halt
+
+echo "wrote $OUT (nominal-leg per-slot stream)"

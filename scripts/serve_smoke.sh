@@ -1,0 +1,84 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end serve-mode smoke: boot cmd/eotorad in
+# lockstep mode, stream SLOTS slots of full state diffs through
+# cmd/loadgen, scrape /metrics, and assert a clean run: every event
+# accepted, every slot decided at the full rung, the measured ingest rate
+# at or above MIN_RATE events/slot (the default 250 devices produce
+# ~1.3k/slot), and the live counters agreeing with the stream. CI runs
+# this as the serve-smoke job; `make smoke-serve` runs it locally.
+#
+# Environment overrides: SLOTS (default 200), DEVICES (250), PORT
+# (18080), MIN_RATE (1000; set 0 when shrinking DEVICES locally).
+set -eu
+
+SLOTS="${SLOTS:-200}"
+DEVICES="${DEVICES:-250}"
+PORT="${PORT:-18080}"
+MIN_RATE="${MIN_RATE:-1000}"
+ADDR="http://127.0.0.1:$PORT"
+
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building eotorad and loadgen"
+go build -o "$workdir/eotorad" ./cmd/eotorad
+go build -o "$workdir/loadgen" ./cmd/loadgen
+
+echo "== booting eotorad (lockstep, $DEVICES devices) on $ADDR"
+"$workdir/eotorad" -listen "127.0.0.1:$PORT" -devices "$DEVICES" -tick 0 \
+    -snapshot "$workdir/snap.json" &
+daemon_pid=$!
+
+# Wait for the API to come up (10 s ceiling).
+i=0
+until curl -fsS "$ADDR/v1/status" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "eotorad did not come up on $ADDR" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo "== streaming $SLOTS slots through loadgen (gating on shed + degraded)"
+"$workdir/loadgen" -addr "$ADDR" -devices "$DEVICES" -slots "$SLOTS" \
+    -fail-degraded -fail-shed
+
+echo "== scraping /metrics"
+curl -fsS "$ADDR/metrics" >"$workdir/metrics.json"
+for want in \
+    "\"serve.ticks\": $SLOTS" \
+    '"serve.degraded_slots": 0' \
+    '"serve.events_shed": 0'; do
+    if ! grep -q "$want" "$workdir/metrics.json"; then
+        echo "metrics scrape missing '$want':" >&2
+        cat "$workdir/metrics.json" >&2
+        exit 1
+    fi
+done
+grep -E '"serve\.(ticks|events_ingested|events_applied|degraded_slots|escalations)"' \
+    "$workdir/metrics.json" | sed 's/^ */    /'
+
+ingested="$(sed -n 's/.*"serve.events_ingested": \([0-9]*\).*/\1/p' "$workdir/metrics.json")"
+rate=$((ingested / SLOTS))
+if [ "$rate" -lt "$MIN_RATE" ]; then
+    echo "ingest rate $rate events/slot below the $MIN_RATE floor" >&2
+    exit 1
+fi
+echo "    ingest rate: $rate events/slot (floor $MIN_RATE)"
+
+echo "== clean shutdown writes the final snapshot"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+if ! grep -q "\"ticks\": $SLOTS" "$workdir/snap.json"; then
+    echo "final snapshot missing or at the wrong slot" >&2
+    exit 1
+fi
+
+echo "serve smoke OK: $SLOTS slots, zero shed, zero degraded"
