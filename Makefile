@@ -6,7 +6,7 @@ GO ?= go
 BENCHTIME ?= 1s
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
-.PHONY: all verify build lint vet test race cover fuzz soak bench bench-json bench-quick examples paper smoke-serve serve-demo clean
+.PHONY: all verify build lint vet test race cover fuzz soak bench bench-json bench-quick examples paper smoke-serve serve-demo compare-demo clean
 
 all: build vet test
 
@@ -25,7 +25,7 @@ build:
 lint: vet
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
-	$(GO) run ./cmd/doccheck ./internal/core ./internal/game ./internal/obs ./internal/par ./internal/faults ./internal/trace ./internal/solver ./internal/serve
+	$(GO) run ./cmd/doccheck ./internal/core ./internal/game ./internal/obs ./internal/par ./internal/faults ./internal/trace ./internal/solver ./internal/serve ./internal/policy
 	$(GO) run ./cmd/linkcheck .
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
@@ -56,6 +56,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzIncrementalBestResponseEquivalence -fuzztime=15s ./internal/game/
 	$(GO) test -fuzz=FuzzShardedEquivalence -fuzztime=15s ./internal/game/
 	$(GO) test -fuzz=FuzzSanitizeState -fuzztime=15s ./internal/trace/
+	$(GO) test -fuzz=FuzzPolicySeamEquivalence -fuzztime=15s ./internal/policy/
 
 # Long fault-injection soak: 10k slots of corrupted traces, outages, and
 # stalls under the race detector (the nightly configuration; see
@@ -95,6 +96,13 @@ smoke-serve:
 serve-demo:
 	sh scripts/serve_demo.sh
 
+# The EXPERIMENTS.md policy appendix run: the six-policy comparison
+# figure (every baseline + BDMA on one trace) and the V/λ auto-tuner
+# trajectory, at quick scale into results/compare.
+compare-demo:
+	$(GO) run ./cmd/experiments -fig compare -out results/compare
+	$(GO) run ./cmd/experiments -fig tuner -out results/compare
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/vrgaming
@@ -108,4 +116,4 @@ paper:
 	$(GO) run ./cmd/experiments -fig all -scale paper -out results/paper
 
 clean:
-	rm -rf results/paper
+	rm -rf results/paper results/compare

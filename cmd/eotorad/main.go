@@ -13,6 +13,7 @@
 //	eotorad -listen :8080 -devices 150 -tick 100ms
 //	eotorad -restore snap.json -snapshot snap.json -snapshot-every 30s
 //	eotorad -tick 0            # manual mode: slots advance via POST /v1/tick
+//	eotorad -policy greedy-energy -tick 100ms   # serve a comparison baseline
 //
 // Drive it with cmd/loadgen, or directly:
 //
@@ -31,6 +32,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,6 +40,7 @@ import (
 	"eotora/internal/experiments"
 	"eotora/internal/obs"
 	"eotora/internal/par"
+	"eotora/internal/policy"
 	"eotora/internal/serve"
 	"eotora/internal/topology"
 	"eotora/internal/trace"
@@ -61,6 +64,7 @@ func run(args []string) error {
 		z          = fs.Int("z", 5, "BDMA alternation rounds")
 		lambda     = fs.Float64("lambda", 0, "CGBA λ in [0, 0.125)")
 		seed       = fs.Int64("seed", 1, "random seed shared with the load source")
+		polName    = fs.String("policy", policy.BDMA, "decision policy: "+strings.Join(policy.Names(), ", "))
 		churn      = fs.Float64("churn", 0, "churn intensity of the expected stream (must match the load source so the initial population agrees)")
 		tick       = fs.Duration("tick", 100*time.Millisecond, "slot cadence (0 = manual: slots advance only via POST /v1/tick)")
 		queueCap   = fs.Int("queue-cap", 65536, "ingest queue bound in events; overflow is shed and counted")
@@ -109,32 +113,56 @@ func run(args []string) error {
 	}
 	initial := src.Next()
 
-	ctrl, err := core.NewBDMAController(sc.Sys, *v, *z, *lambda, *seed)
-	if err != nil {
-		return err
-	}
-	if *shortlist != 0 {
-		if err := ctrl.SetShortlist(*shortlist); err != nil {
+	var pol policy.Policy
+	if *polName == policy.BDMA {
+		ctrl, err := core.NewBDMAController(sc.Sys, *v, *z, *lambda, *seed)
+		if err != nil {
 			return err
 		}
-	}
-	if *shards != 0 {
-		if err := ctrl.SetShards(*shards); err != nil {
+		if *shortlist != 0 {
+			if err := ctrl.SetShortlist(*shortlist); err != nil {
+				return err
+			}
+		}
+		if *shards != 0 {
+			if err := ctrl.SetShards(*shards); err != nil {
+				return err
+			}
+		}
+		pol = ctrl
+	} else {
+		// The controller-only knobs stay with -policy bdma: the tuner owns
+		// its own shortlist schedule, and the baselines run no solver.
+		if *shortlist != 0 || *shards != 0 {
+			return fmt.Errorf("-shortlist/-shards apply only to -policy bdma (got -policy %s)", *polName)
+		}
+		pol, err = policy.New(*polName, sc.Sys, policy.Config{
+			V: *v, Rounds: *z, Lambda: *lambda, Seed: *seed,
+		})
+		if err != nil {
 			return err
 		}
 	}
 	if *slotWork != 1 {
-		pool := par.New(*slotWork)
-		defer pool.Close()
-		ctrl.SetPool(pool)
+		if ps, ok := pol.(policy.PoolSetter); ok {
+			pool := par.New(*slotWork)
+			defer pool.Close()
+			ps.SetPool(pool)
+		}
 	}
 
-	if *degradeAt > 0 && *escDL == 0 && *escChecks == 0 && *tick > 0 {
+	_, canDeadline := pol.(policy.DeadlineSetter)
+	if *degradeAt > 0 && *escDL == 0 && *escChecks == 0 && *tick > 0 && canDeadline {
 		// Escalation armed with no explicit budget: give an escalated
 		// slot half the tick so the queue drains within a cadence or two.
 		*escDL = *tick / 2
 	}
-	daemon, err := serve.NewDaemon(ctrl, initial, serve.Config{
+	if *degradeAt > 0 && !canDeadline {
+		// Policies without a degradation ladder cannot solve under a
+		// tighter budget; backpressure still sheds at the queue bound.
+		*degradeAt = 0
+	}
+	daemon, err := serve.NewDaemon(pol, initial, serve.Config{
 		Tick:             *tick,
 		QueueCap:         *queueCap,
 		MaxBatch:         *maxBatch,
@@ -194,8 +222,12 @@ func run(args []string) error {
 	defer stop()
 
 	k, m, n, i := sc.Net.Counts()
-	fmt.Fprintf(os.Stderr, "eotorad: %s topology (%d stations, %d rooms, %d servers, %d devices), %s-based DPP V=%g, seed %d\n",
-		*topoName, k, m, n, i, ctrl.SolverName(), *v, *seed)
+	polDesc := "policy " + pol.Name()
+	if sn, ok := pol.(policy.SolverNamer); ok {
+		polDesc = fmt.Sprintf("policy %s (%s-based DPP)", pol.Name(), sn.SolverName())
+	}
+	fmt.Fprintf(os.Stderr, "eotorad: %s topology (%d stations, %d rooms, %d servers, %d devices), %s V=%g, seed %d\n",
+		*topoName, k, m, n, i, polDesc, *v, *seed)
 	if *tick > 0 {
 		fmt.Fprintf(os.Stderr, "eotorad: ticking every %v; API on http://%s\n", *tick, ln.Addr())
 		go func() {

@@ -1,23 +1,27 @@
 // Command eotorasim runs a full online EOTORA simulation: it generates the
-// paper's Section VI-A scenario, drives a DPP controller slot by slot, and
-// prints either a summary or the per-slot metric series as CSV.
+// paper's Section VI-A scenario, drives a decision policy slot by slot,
+// and prints either a summary or the per-slot metric series as CSV.
 //
 // Usage:
 //
 //	eotorasim -devices 100 -slots 240 -v 100 -z 5
 //	eotorasim -solver ropt -budget-frac 0.3 -csv > run.csv
+//	eotorasim -policy greedy-energy -slots 240
+//	eotorasim -policy bdma-tuned -v 100 -lambda 0.05
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"eotora/internal/core"
 	"eotora/internal/experiments"
 	"eotora/internal/faults"
 	"eotora/internal/par"
+	"eotora/internal/policy"
 	"eotora/internal/sim"
 	"eotora/internal/topology"
 	"eotora/internal/trace"
@@ -39,7 +43,8 @@ func run(args []string) error {
 		v          = fs.Float64("v", 100, "drift-plus-penalty weight V")
 		z          = fs.Int("z", 5, "BDMA alternation rounds")
 		lambda     = fs.Float64("lambda", 0, "CGBA λ in [0, 0.125)")
-		solverName = fs.String("solver", "cgba", "P2-A solver: cgba, mcba, or ropt")
+		solverName = fs.String("solver", "cgba", "P2-A solver for -policy bdma: cgba, mcba, or ropt")
+		polName    = fs.String("policy", policy.BDMA, "decision policy: "+strings.Join(policy.Names(), ", "))
 		budgetFrac = fs.Float64("budget-frac", 0.5, "budget position in [all-F^L, all-F^U] cost range")
 		seed       = fs.Int64("seed", 1, "random seed")
 		csv        = fs.Bool("csv", false, "emit per-slot CSV instead of a summary")
@@ -102,43 +107,61 @@ func run(args []string) error {
 		return err
 	}
 
-	var ctrl *core.Controller
-	switch *solverName {
-	case "cgba":
-		ctrl, err = core.NewBDMAController(sc.Sys, *v, *z, *lambda, *seed)
-	case "mcba":
-		ctrl, err = core.NewMCBAController(sc.Sys, *v, *z, *seed)
-	case "ropt":
-		ctrl, err = core.NewROPTController(sc.Sys, *v, *z, *seed)
-	default:
-		return fmt.Errorf("unknown solver %q (want cgba, mcba, or ropt)", *solverName)
-	}
-	if err != nil {
-		return err
-	}
-
-	if *shortlist != 0 {
-		if err := ctrl.SetShortlist(*shortlist); err != nil {
+	var pol policy.Policy
+	if *polName == policy.BDMA {
+		var ctrl *core.Controller
+		switch *solverName {
+		case "cgba":
+			ctrl, err = core.NewBDMAController(sc.Sys, *v, *z, *lambda, *seed)
+		case "mcba":
+			ctrl, err = core.NewMCBAController(sc.Sys, *v, *z, *seed)
+		case "ropt":
+			ctrl, err = core.NewROPTController(sc.Sys, *v, *z, *seed)
+		default:
+			return fmt.Errorf("unknown solver %q (want cgba, mcba, or ropt)", *solverName)
+		}
+		if err != nil {
+			return err
+		}
+		if *shortlist != 0 {
+			if err := ctrl.SetShortlist(*shortlist); err != nil {
+				return err
+			}
+		}
+		if *shards != 0 {
+			if err := ctrl.SetShards(*shards); err != nil {
+				return err
+			}
+		}
+		if *shardAudit > 0 {
+			if *shards == 0 {
+				return fmt.Errorf("-shard-audit requires -shards")
+			}
+			ctrl.SetShardAudit(*shardAudit)
+		}
+		pol = ctrl
+	} else {
+		// The controller-only knobs stay with -policy bdma: the tuner owns
+		// its own shortlist schedule, and the baselines run no solver.
+		if *solverName != "cgba" {
+			return fmt.Errorf("-solver applies only to -policy bdma (got -policy %s)", *polName)
+		}
+		if *shortlist != 0 || *shards != 0 || *shardAudit > 0 {
+			return fmt.Errorf("-shortlist/-shards/-shard-audit apply only to -policy bdma (got -policy %s)", *polName)
+		}
+		pol, err = policy.New(*polName, sc.Sys, policy.Config{
+			V: *v, Rounds: *z, Lambda: *lambda, Seed: *seed,
+		})
+		if err != nil {
 			return err
 		}
 	}
-	if *shards != 0 {
-		if err := ctrl.SetShards(*shards); err != nil {
-			return err
-		}
-	}
-	if *shardAudit > 0 {
-		if *shards == 0 {
-			return fmt.Errorf("-shard-audit requires -shards")
-		}
-		ctrl.SetShardAudit(*shardAudit)
-	}
 
-	reg, err := attachObs(ctrl, *metrics, *obsOut)
+	reg, err := attachObs(pol, *metrics, *obsOut)
 	if err != nil {
 		return err
 	}
-	defer attachPool(ctrl, *slotWork)()
+	defer attachPool(pol, *slotWork)()
 
 	if *resumeFrom != "" {
 		f, err := os.Open(*resumeFrom)
@@ -153,7 +176,7 @@ func run(args []string) error {
 		if closeErr != nil {
 			return closeErr
 		}
-		if err := ctrl.Restore(cp); err != nil {
+		if err := pol.Restore(cp); err != nil {
 			return err
 		}
 		// Fast-forward the state source past the slots already simulated:
@@ -171,12 +194,12 @@ func run(args []string) error {
 			return err
 		}
 	}
-	src, inj, err := applyRobustness(ctrl, base, *slotDL, *slotChecks, *faultsOn, *seed)
+	src, inj, err := applyRobustness(pol, base, *slotDL, *slotChecks, *faultsOn, *seed)
 	if err != nil {
 		return err
 	}
 
-	res, err := sim.Run(ctrl, src, sim.Config{Slots: *slots, Warmup: *warmup})
+	res, err := sim.Run(pol, src, sim.Config{Slots: *slots, Warmup: *warmup})
 	if err != nil {
 		return err
 	}
@@ -192,7 +215,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := ctrl.WriteCheckpoint(f); err != nil {
+		if err := core.WriteCheckpointTo(f, pol.Checkpoint()); err != nil {
 			f.Close()
 			return err
 		}
@@ -222,7 +245,11 @@ func run(args []string) error {
 
 	k, m, n, i := sc.Net.Counts()
 	fmt.Printf("scenario: %s topology, %d base stations, %d rooms, %d servers, %d devices (seed %d)\n", *topoName, k, m, n, i, *seed)
-	fmt.Printf("controller: %s-based DPP, V=%g, z=%d, λ=%g\n", ctrl.SolverName(), *v, *z, *lambda)
+	if sn, ok := pol.(policy.SolverNamer); ok {
+		fmt.Printf("policy:   %s (%s-based DPP), V=%g, z=%d, λ=%g\n", pol.Name(), sn.SolverName(), *v, *z, *lambda)
+	} else {
+		fmt.Printf("policy:   %s, V=%g\n", pol.Name(), *v)
+	}
 	if *shards != 0 {
 		if *shards == core.ShardsAuto {
 			fmt.Printf("sharding: one shard per topology cluster (-shards -1)\n")
@@ -277,36 +304,46 @@ func scaledChurn(intensity float64, seed int64) trace.ChurnConfig {
 	return cfg
 }
 
-// applyRobustness arms the controller's per-slot deadline (when either
-// budget is set) and, when injectFaults is on, wraps src in a seeded fault
-// injector with a repairing trace.Sanitizer on top. The returned source is
-// what the simulation should consume; the injector is returned for
-// post-run reporting (nil when fault injection is off).
-func applyRobustness(ctrl *core.Controller, src trace.Source, deadline time.Duration, checks int, injectFaults bool, seed int64) (trace.Source, *faults.Injector, error) {
+// applyRobustness arms the policy's per-slot deadline (when either budget
+// is set; an error when the policy has no deadline capability) and, when
+// injectFaults is on, wraps src in a seeded fault injector with a
+// repairing trace.Sanitizer on top. The returned source is what the
+// simulation should consume; the injector is returned for post-run
+// reporting (nil when fault injection is off). Policies without a timed
+// solve skip the stall leg but still see the corrupted traces.
+func applyRobustness(pol policy.Policy, src trace.Source, deadline time.Duration, checks int, injectFaults bool, seed int64) (trace.Source, *faults.Injector, error) {
 	if deadline > 0 || checks > 0 {
-		ctrl.SetSlotDeadline(deadline, checks)
+		ds, ok := pol.(policy.DeadlineSetter)
+		if !ok {
+			return nil, nil, fmt.Errorf("-slot-deadline/-slot-checks apply only to the bdma family (policy %s has no degradation ladder)", pol.Name())
+		}
+		ds.SetSlotDeadline(deadline, checks)
 	}
 	if !injectFaults {
 		return src, nil, nil
 	}
-	inj, err := faults.NewInjector(faults.DefaultConfig(seed), len(ctrl.System().Net.Servers), src)
+	inj, err := faults.NewInjector(faults.DefaultConfig(seed), len(pol.System().Net.Servers), src)
 	if err != nil {
 		return nil, nil, err
 	}
-	inj.Attach(ctrl)
+	if st, ok := pol.(faults.Staller); ok {
+		inj.Attach(st)
+	}
 	return trace.NewSanitizer(inj), inj, nil
 }
 
-// attachPool gives the controller an intra-slot worker pool of the
-// requested size (0 = GOMAXPROCS, ≤1 = stay serial) and returns the
-// cleanup that releases the workers. Parallel slot solves are
-// bit-identical to serial, so the flag only changes wall-clock time.
-func attachPool(ctrl *core.Controller, workers int) func() {
-	if workers == 1 {
+// attachPool gives the policy an intra-slot worker pool of the requested
+// size (0 = GOMAXPROCS, ≤1 = stay serial) and returns the cleanup that
+// releases the workers. Parallel slot solves are bit-identical to serial,
+// so the flag only changes wall-clock time; policies without the
+// capability simply stay serial.
+func attachPool(pol policy.Policy, workers int) func() {
+	ps, ok := pol.(policy.PoolSetter)
+	if !ok || workers == 1 {
 		return func() {}
 	}
 	pool := par.New(workers)
-	ctrl.SetPool(pool)
+	ps.SetPool(pool)
 	return pool.Close
 }
 

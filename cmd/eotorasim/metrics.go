@@ -9,21 +9,21 @@ import (
 	"os"
 	"strings"
 
-	"eotora/internal/core"
 	"eotora/internal/obs"
+	"eotora/internal/policy"
 )
 
-// attachObs instruments the controller when -metrics or -obs-out asks for
+// attachObs instruments the policy when -metrics or -obs-out asks for
 // observability: it attaches a fresh registry and, with a non-empty addr,
 // starts the expvar/pprof server and logs the bound address (addr may use
 // port 0 to pick a free port). It returns the registry, nil when
 // observability is off.
-func attachObs(ctrl *core.Controller, addr, obsOut string) (*obs.Registry, error) {
+func attachObs(pol policy.Policy, addr, obsOut string) (*obs.Registry, error) {
 	if addr == "" && obsOut == "" {
 		return nil, nil
 	}
 	reg := obs.New()
-	ctrl.SetObs(reg)
+	pol.SetObs(reg)
 	if addr != "" {
 		ln, err := startMetricsServer(addr, reg)
 		if err != nil {

@@ -8,7 +8,8 @@
 //	experiments -fig all -format csv   # everything, CSV output
 //
 // Figure IDs: 2–9, ablation-bdma-z, ablation-p2b, ablation-iid,
-// ablation-fronthaul, degrade, churn, all.
+// ablation-fronthaul, degrade, churn, compare (policy roster on one
+// trace), tuner (fixed knobs vs the online V/λ auto-tuner), all.
 package main
 
 import (
@@ -32,7 +33,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		figID  = fs.String("fig", "all", "figure to regenerate: 2..9, ablation-bdma-z, ablation-p2b, ablation-iid, ablation-fronthaul, ablation-pivot, degrade, churn, all")
+		figID  = fs.String("fig", "all", "figure to regenerate: 2..9, ablation-bdma-z, ablation-p2b, ablation-iid, ablation-fronthaul, ablation-pivot, degrade, churn, compare, tuner, all")
 		scale  = fs.String("scale", "quick", "experiment scale: quick or paper")
 		format = fs.String("format", "table", "output format: table, csv, plot, or markdown")
 		seed   = fs.Int64("seed", 1, "random seed")
@@ -58,7 +59,7 @@ func run(args []string) error {
 	ids := []string{*figID}
 	if *figID == "all" {
 		ids = []string{"2", "3", "4", "5", "6", "7", "8", "9",
-			"ablation-bdma-z", "ablation-p2b", "ablation-iid", "ablation-fronthaul", "ablation-pivot", "ablation-compute-bound", "ablation-seeds", "ablation-flashcrowd", "ablation-per-room", "ablation-stale", "ablation-convergence", "degrade", "churn"}
+			"ablation-bdma-z", "ablation-p2b", "ablation-iid", "ablation-fronthaul", "ablation-pivot", "ablation-compute-bound", "ablation-seeds", "ablation-flashcrowd", "ablation-per-room", "ablation-stale", "ablation-convergence", "degrade", "churn", "compare", "tuner"}
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -178,6 +179,10 @@ func build(id string, paper bool, seed int64) (*experiments.Figure, error) {
 		return experiments.FigDegrade(ablationCfg(paper, seed), nil)
 	case "churn":
 		return experiments.FigChurn(ablationCfg(paper, seed), nil)
+	case "compare":
+		return experiments.ComparePolicies(compareCfg(paper, seed))
+	case "tuner":
+		return experiments.TunerDemo(compareCfg(paper, seed))
 	default:
 		return nil, fmt.Errorf("unknown figure id %q", id)
 	}
@@ -187,6 +192,15 @@ func ablationCfg(paper bool, seed int64) experiments.AblationConfig {
 	cfg := experiments.QuickAblationConfig()
 	if paper {
 		cfg = experiments.DefaultAblationConfig()
+	}
+	cfg.Seed = seed
+	return cfg
+}
+
+func compareCfg(paper bool, seed int64) experiments.CompareConfig {
+	cfg := experiments.QuickCompareConfig()
+	if paper {
+		cfg = experiments.DefaultCompareConfig()
 	}
 	cfg.Seed = seed
 	return cfg

@@ -41,6 +41,7 @@ import (
 	"eotora/internal/energy"
 	"eotora/internal/experiments"
 	"eotora/internal/game"
+	"eotora/internal/policy"
 	"eotora/internal/sim"
 	"eotora/internal/topology"
 	"eotora/internal/trace"
@@ -113,6 +114,18 @@ type (
 	SimConfig = sim.Config
 	// Metrics holds a run's per-slot series and summaries.
 	Metrics = sim.Metrics
+)
+
+// Policy-seam types (DESIGN.md §15): every slot driver programs against
+// Policy, with the Controller as the flagship implementation.
+type (
+	// Policy is the decision-policy interface between state ingestion
+	// and decision publication.
+	Policy = policy.Policy
+	// PolicyConfig parameterizes NewPolicy.
+	PolicyConfig = policy.Config
+	// TunerConfig overrides the bdma-tuned V/λ auto-tuner schedule.
+	TunerConfig = policy.TunerConfig
 )
 
 // Energy-model types.
@@ -196,9 +209,14 @@ var (
 	DefaultNetworkSpec = topology.DefaultSpec
 	// DefaultGeneratorConfig is the paper's state-process configuration.
 	DefaultGeneratorConfig = trace.DefaultGeneratorConfig
-	// Run simulates a controller over a state source.
+	// NewPolicy constructs a named decision policy ("bdma",
+	// "greedy-energy", "bdma-tuned", ...; see PolicyNames).
+	NewPolicy = policy.New
+	// PolicyNames lists the constructible policy names.
+	PolicyNames = policy.Names
+	// Run simulates a policy over a state source.
 	Run = sim.Run
-	// RunAll simulates several controllers over one shared trace.
+	// RunAll simulates several policies over one shared trace.
 	RunAll = sim.RunAll
 	// LoadRunSpec parses a JSON experiment definition.
 	LoadRunSpec = experiments.LoadRunSpec

@@ -85,7 +85,7 @@ func TestFacadeRunAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms, err := eotora.RunAll([]*eotora.Controller{a, b}, gen, eotora.SimConfig{Slots: 12})
+	ms, err := eotora.RunAll([]eotora.Policy{a, b}, gen, eotora.SimConfig{Slots: 12})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,11 @@ type Checkpoint struct {
 	PrevServer []int `json:"prev_server,omitempty"`
 	// PrevFreq holds the previous slot's frequency vector in Hz.
 	PrevFreq []float64 `json:"prev_freq,omitempty"`
+	// Extra carries policy-wrapper state (internal/policy): the online
+	// auto-tuner records its adapted knobs and window accumulators here.
+	// The Controller itself never writes or reads it, so plain-bdma
+	// checkpoints serialize exactly as before the policy seam existed.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Checkpoint captures the controller's resume state.
@@ -82,6 +87,8 @@ func (c *Controller) Restore(cp Checkpoint) error {
 		return fmt.Errorf("core: checkpoint solver %q, controller %q", cp.Solver, c.SolverName())
 	case cp.Seed != c.cfg.Seed:
 		return fmt.Errorf("core: checkpoint seed %d, controller seed %d", cp.Seed, c.cfg.Seed)
+	case len(cp.Extra) != 0:
+		return errors.New("core: checkpoint carries policy-wrapper state; restore it through the owning policy")
 	}
 	if (cp.RoomBacklogs != nil) != (c.rooms != nil) {
 		return errors.New("core: checkpoint budget mode differs from controller")
@@ -116,9 +123,16 @@ func (c *Controller) Restore(cp Checkpoint) error {
 
 // WriteCheckpoint serializes the controller's checkpoint as JSON.
 func (c *Controller) WriteCheckpoint(w io.Writer) error {
+	return WriteCheckpointTo(w, c.Checkpoint())
+}
+
+// WriteCheckpointTo serializes cp as indented JSON — the format
+// ReadCheckpoint parses. Drivers working through the policy seam use it
+// to persist any policy's Checkpoint(), not just a Controller's.
+func WriteCheckpointTo(w io.Writer, cp Checkpoint) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(c.Checkpoint())
+	return enc.Encode(cp)
 }
 
 // ReadCheckpoint parses a checkpoint written by WriteCheckpoint.

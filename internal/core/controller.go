@@ -175,6 +175,28 @@ func NewController(sys *System, cfg ControllerConfig) (*Controller, error) {
 // System returns the controller's system.
 func (c *Controller) System() *System { return c.sys }
 
+// Name identifies the controller as the flagship "bdma" policy behind the
+// policy seam (internal/policy): the paper's full DPP + BDMA alternation,
+// whatever P2-A solver drives it. SolverName distinguishes the solver.
+func (c *Controller) Name() string { return "bdma" }
+
+// Slot returns the last completed slot index (0 before the first step,
+// the checkpointed slot right after a Restore).
+func (c *Controller) Slot() int { return c.slot }
+
+// Decide is the policy-seam entry point (internal/policy.Policy): it
+// checks that the caller's slot index is the controller's next slot and
+// then runs Step. The explicit index exists so drivers that own the slot
+// numbering (the serve daemon's tick counter, the simulator's loop)
+// fail loudly on a desynchronized restore instead of silently deciding a
+// different slot than they publish.
+func (c *Controller) Decide(slot int, st *trace.State) (*SlotResult, error) {
+	if slot != c.slot+1 {
+		return nil, fmt.Errorf("core: Decide slot %d, controller expects %d", slot, c.slot+1)
+	}
+	return c.Step(st)
+}
+
 // Backlog returns the current virtual-queue backlog Q(t) — the total
 // across rooms in per-room budget mode.
 func (c *Controller) Backlog() float64 {
@@ -195,6 +217,38 @@ func (c *Controller) RoomBacklogs() map[int]float64 {
 
 // V returns the configured penalty weight.
 func (c *Controller) V() float64 { return c.cfg.V }
+
+// SetV retunes the drift-plus-penalty weight V between slots — the
+// latency-vs-backlog dial the online auto-tuner (internal/policy) turns.
+// The virtual queue carries over unchanged; only the penalty weighting of
+// subsequent slots moves. Checkpoints taken after a SetV record the new V,
+// so a restore into a fixed-V controller of the old weight fails loudly.
+func (c *Controller) SetV(v float64) error {
+	if err := lyapunov.CheckV(v); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	c.cfg.V = v
+	c.dpp.V = v
+	return nil
+}
+
+// SetLambda retunes the CGBA approximation slack λ between slots (see
+// game.CGBAConfig.Lambda: larger λ certifies a looser equilibrium in
+// fewer iterations). It errors when the controller's P2-A solver is not
+// CGBA, or when λ leaves [0, 0.125) — beyond that the congestion-game
+// approximation bound diverges.
+func (c *Controller) SetLambda(lambda float64) error {
+	if lambda < 0 || lambda >= 0.125 {
+		return fmt.Errorf("core: λ = %v outside [0, 0.125)", lambda)
+	}
+	s, err := c.cgbaSolver("λ")
+	if err != nil {
+		return err
+	}
+	s.Lambda = lambda
+	c.cfg.BDMA.Solver = s
+	return nil
+}
 
 // SetPool attaches a worker pool to the controller's per-slot solve:
 // P2-B's per-server minimizations, the P2-A engine's best-response
@@ -492,7 +546,7 @@ func (c *Controller) repriceDecision(st *trace.State) (BDMAResult, error) {
 		if c.prevPairFeasible(i, st) {
 			continue
 		}
-		k, n, ok := c.sys.firstFeasiblePair(i, st)
+		k, n, ok := c.sys.FirstFeasiblePair(i, st)
 		if !ok {
 			return BDMAResult{}, fmt.Errorf("core: reprice: device %d has no feasible (station, server) pair this slot", i)
 		}
@@ -526,11 +580,13 @@ func (c *Controller) prevPairFeasible(i int, st *trace.State) bool {
 	return false
 }
 
-// firstFeasiblePair returns the lowest-indexed (station, server) pair
+// FirstFeasiblePair returns the lowest-indexed (station, server) pair
 // feasible for device i under st. Pass 0 honors ServerDown advisories;
 // pass 1 re-admits down-but-present servers, mirroring BuildP2A's
 // degraded-topology policy. ok is false when even pass 1 finds nothing.
-func (s *System) firstFeasiblePair(i int, st *trace.State) (station, server int, ok bool) {
+// The RungPrevious repair and the local-only baseline policy
+// (internal/policy) share this pair enumeration.
+func (s *System) FirstFeasiblePair(i int, st *trace.State) (station, server int, ok bool) {
 	stations := len(s.Net.BaseStations)
 	for pass := 0; pass < 2; pass++ {
 		honorDown := pass == 0

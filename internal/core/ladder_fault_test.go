@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"eotora/internal/trace"
+)
+
+// allDown returns st with every server carrying a Down advisory.
+func allDown(sys *System, st *trace.State) *trace.State {
+	cp := *st
+	cp.ServerDown = make([]bool, len(sys.Net.Servers))
+	for n := range cp.ServerDown {
+		cp.ServerDown[n] = true
+	}
+	return &cp
+}
+
+// allRemoved returns st with every server structurally removed.
+func allRemoved(sys *System, st *trace.State) *trace.State {
+	cp := *st
+	cp.ServerActive = make([]bool, len(sys.Net.Servers))
+	return &cp
+}
+
+// TestRepriceAllServersDown: when every server carries a Down advisory
+// mid-slot, the RungPrevious repair must re-admit down-but-present
+// servers (FirstFeasiblePair pass 1) and return a selection feasible
+// under the degraded state — advisories drain, they never strand.
+func TestRepriceAllServersDown(t *testing.T) {
+	sys, gen := buildSystem(t, 40, 7)
+	states := trace.Record(gen, 2)
+	ctrl, err := NewBDMAController(sys, 110, 3, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.SetSlotDeadline(0, 1<<30) // arm so the decision is remembered
+	if _, err := ctrl.Step(states[0]); err != nil {
+		t.Fatal(err)
+	}
+	down := allDown(sys, states[1])
+	res, err := ctrl.repriceDecision(down)
+	if err != nil {
+		t.Fatalf("reprice with every server down: %v", err)
+	}
+	if err := sys.Validate(res.Selection, down); err != nil {
+		t.Fatalf("repriced selection infeasible: %v", err)
+	}
+	if math.IsNaN(res.Objective) || math.IsInf(res.Objective, 0) {
+		t.Errorf("repriced objective %v", res.Objective)
+	}
+}
+
+// TestRepriceAllServersRemoved: with every server structurally removed
+// there is no feasible pair at all; the reprice must fail with a clean
+// error (sending the ladder to its last rung), never panic or emit a
+// selection pointing at removed hardware.
+func TestRepriceAllServersRemoved(t *testing.T) {
+	sys, gen := buildSystem(t, 40, 7)
+	states := trace.Record(gen, 2)
+	ctrl, err := NewBDMAController(sys, 110, 3, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.SetSlotDeadline(0, 1<<30)
+	if _, err := ctrl.Step(states[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.repriceDecision(allRemoved(sys, states[1])); err == nil {
+		t.Fatal("reprice produced a selection with every server removed")
+	} else if !strings.Contains(err.Error(), "no feasible") {
+		t.Errorf("error %q does not name the infeasibility", err)
+	}
+}
+
+// TestStepAllServersDownFullLadder: a full solve and every ladder rung
+// must stay feasible when all servers are down-but-present. The tight
+// counted budget forces the degraded path on the same state.
+func TestStepAllServersDownFullLadder(t *testing.T) {
+	for _, checks := range []int{0, 1, 1 << 30} {
+		sys, gen := buildSystem(t, 40, 7)
+		states := trace.Record(gen, 2)
+		ctrl, err := NewBDMAController(sys, 110, 3, 0, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if checks > 0 {
+			ctrl.SetSlotDeadline(0, checks)
+		}
+		for i, st := range states {
+			down := allDown(sys, st)
+			r, err := ctrl.Step(down)
+			if err != nil {
+				t.Fatalf("checks=%d slot %d with every server down: %v", checks, i, err)
+			}
+			if err := sys.Validate(r.Decision.Selection, down); err != nil {
+				t.Fatalf("checks=%d slot %d: infeasible decision at rung %d: %v", checks, i, r.Rung, err)
+			}
+		}
+	}
+}
+
+// TestStepAllServersRemovedCleanError: a state with zero structurally
+// present servers must fail the step with an error, not a panic and not
+// a decision.
+func TestStepAllServersRemovedCleanError(t *testing.T) {
+	sys, gen := buildSystem(t, 40, 7)
+	st := allRemoved(sys, gen.Next())
+	ctrl, err := NewBDMAController(sys, 110, 3, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := ctrl.Step(st); err == nil {
+		t.Fatalf("step decided rung %d with every server removed", r.Rung)
+	}
+	// The ladder must not rescue an unbuildable slot either: the deadline
+	// path only catches ErrSlotDeadline, so the armed run fails the same
+	// way instead of publishing a stale previous decision.
+	ctrl2, err := NewBDMAController(sys, 110, 3, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl2.SetSlotDeadline(0, 1<<30)
+	if _, err := ctrl2.Step(gen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	if r, err := ctrl2.Step(st); err == nil {
+		t.Fatalf("armed step decided rung %d with every server removed", r.Rung)
+	}
+}
+
+// TestStepCapScaleZeroRejected: CheckState bounds CapScale to (0, 1], so
+// a capacity scaled to zero mid-slot is a clean validation error — the
+// latency model divides by the scaled capacity and must never see it.
+func TestStepCapScaleZeroRejected(t *testing.T) {
+	sys, gen := buildSystem(t, 40, 7)
+	st := gen.Next()
+	cp := *st
+	cp.CapScale = make([]float64, len(sys.Net.Servers))
+	for n := range cp.CapScale {
+		cp.CapScale[n] = 1
+	}
+	cp.CapScale[0] = 0
+	ctrl, err := NewBDMAController(sys, 110, 3, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Step(&cp); err == nil {
+		t.Fatal("step accepted a server capacity scaled to zero")
+	} else if !strings.Contains(err.Error(), "capacity scale") {
+		t.Errorf("error %q does not name the capacity scale", err)
+	}
+}
+
+// TestStepCapScaleNearZeroFeasible: an arbitrarily small positive scale
+// is valid input — the step must stay feasible with a finite (if
+// enormous) latency, and the ladder rungs must survive it too.
+func TestStepCapScaleNearZeroFeasible(t *testing.T) {
+	for _, checks := range []int{0, 1} {
+		sys, gen := buildSystem(t, 40, 7)
+		st := gen.Next()
+		cp := *st
+		cp.CapScale = make([]float64, len(sys.Net.Servers))
+		for n := range cp.CapScale {
+			cp.CapScale[n] = 1e-9
+		}
+		ctrl, err := NewBDMAController(sys, 110, 3, 0, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if checks > 0 {
+			ctrl.SetSlotDeadline(0, checks)
+		}
+		r, err := ctrl.Step(&cp)
+		if err != nil {
+			t.Fatalf("checks=%d: %v", checks, err)
+		}
+		if err := sys.Validate(r.Decision.Selection, &cp); err != nil {
+			t.Fatalf("checks=%d: infeasible decision at rung %d: %v", checks, r.Rung, err)
+		}
+		if lat := r.Latency.Value(); math.IsNaN(lat) || math.IsInf(lat, 0) || lat <= 0 {
+			t.Errorf("checks=%d: latency %v under near-zero capacity", checks, lat)
+		}
+	}
+}
+
+// TestGreedyDecisionAllServersDown: RungGreedy maps the slot's game onto
+// selections; with every server down the game builder re-admits, so the
+// greedy profile must stay feasible under the degraded state.
+func TestGreedyDecisionAllServersDown(t *testing.T) {
+	sys, gen := buildSystem(t, 40, 7)
+	down := allDown(sys, gen.Next())
+	ctrl, err := NewBDMAController(sys, 110, 3, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Step(down); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.greedyDecision(down)
+	if err != nil {
+		t.Fatalf("greedy with every server down: %v", err)
+	}
+	if err := sys.Validate(res.Selection, down); err != nil {
+		t.Fatalf("greedy selection infeasible: %v", err)
+	}
+}

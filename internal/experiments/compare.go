@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+
+	"eotora/internal/core"
+	"eotora/internal/policy"
+	"eotora/internal/sim"
+	"eotora/internal/trace"
+)
+
+// CompareConfig parameterizes the policy-comparison and auto-tuner
+// figures: every policy (or tuner variant) runs over the same recorded
+// state trace, so the spread between series is decision quality alone.
+type CompareConfig struct {
+	// Devices is the population size I.
+	Devices int
+	// V is the penalty weight shared by every policy.
+	V float64
+	// Z is the BDMA alternation count (bdma family).
+	Z int
+	// Lambda is the fixed CGBA λ — also the tuner's refinement target.
+	Lambda float64
+	// Slots is the simulated horizon; Warmup slots are excluded from the
+	// summary averages.
+	Slots, Warmup int
+	// Seed drives the scenario, the trace, and every policy.
+	Seed int64
+}
+
+// DefaultCompareConfig is the paper-scale setting.
+func DefaultCompareConfig() CompareConfig {
+	return CompareConfig{Devices: 100, V: 100, Z: 5, Lambda: 0.05, Slots: 240, Warmup: 48, Seed: 1}
+}
+
+// QuickCompareConfig is the reduced setting for tests and CI.
+func QuickCompareConfig() CompareConfig {
+	return CompareConfig{Devices: 20, V: 100, Z: 2, Lambda: 0.05, Slots: 96, Warmup: 24, Seed: 1}
+}
+
+// comparePolicyNames is the comparison roster: the flagship controller
+// plus every deterministic baseline, in presentation order.
+var comparePolicyNames = []string{
+	policy.BDMA,
+	policy.GreedyEnergy,
+	policy.GreedyDeadline,
+	policy.Random,
+	policy.LocalOnly,
+	policy.EdgeOnly,
+}
+
+// ComparePolicies runs the full policy roster over one recorded trace and
+// plots each policy as a point in the (avg energy cost, avg backlog)
+// plane — the paper-style offloading-baseline comparison. The notes carry
+// the per-policy latency/cost/backlog summary table.
+func ComparePolicies(cfg CompareConfig) (*Figure, error) {
+	states, period, sys, err := compareTrace(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "compare",
+		Title:  "Offloading policies on one trace: energy cost versus queue backlog",
+		XLabel: "avg energy cost [$/slot]",
+		YLabel: "avg backlog",
+	}
+	budget := sys.Budget.Dollars()
+	var bdmaLat float64
+	for _, name := range comparePolicyNames {
+		m, err := comparePolicyRun(name, cfg, states, period)
+		if err != nil {
+			return nil, err
+		}
+		fig.AddSeries(name, []float64{m.AvgCost()}, []float64{m.AvgBacklog()})
+		fig.AddNote("%-15s latency %.4f s, cost $%.4f/slot (budget $%.4f), backlog %.3f",
+			name+":", m.AvgLatency(), m.AvgCost(), budget, m.AvgBacklog())
+		if name == policy.BDMA {
+			bdmaLat = m.AvgLatency()
+		} else if m.AvgCost() <= budget*1.02 && m.AvgLatency() < bdmaLat {
+			fig.AddNote("WARNING: %s beats BDMA on latency within budget — investigate", name)
+		}
+	}
+	fig.AddNote("expect: BDMA meets the budget at the lowest latency; greedy-deadline/edge-only buy latency with cost; local-only/random float the backlog")
+	return fig, nil
+}
+
+// TunerDemo races the fixed-knob BDMA controller against bdma-tuned (the
+// online V/λ auto-tuner) over one recorded trace: per-slot backlog and
+// cumulative CGBA best-response iterations for both. The notes quantify
+// the iterations-to-convergence saving of the coarse-to-fine λ schedule
+// and the V adaptation's backlog bound (EXPERIMENTS.md appendix).
+func TunerDemo(cfg CompareConfig) (*Figure, error) {
+	states, period, _, err := compareTrace(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fixed, err := comparePolicyRun(policy.BDMA, cfg, states, period)
+	if err != nil {
+		return nil, err
+	}
+	tuned, err := comparePolicyRun(policy.BDMATuned, cfg, states, period)
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &Figure{
+		ID:     "tuner",
+		Title:  "Online V/λ auto-tuning versus fixed knobs",
+		XLabel: "slot t",
+		YLabel: "backlog / cumulative CGBA iterations (×1000)",
+	}
+	xs := make([]float64, cfg.Slots)
+	for t := range xs {
+		xs[t] = float64(t + 1)
+	}
+	fig.AddSeries("bdma backlog", xs, fixed.Backlog)
+	fig.AddSeries("bdma-tuned backlog", xs, tuned.Backlog)
+	fig.AddSeries("bdma cum. iters (k)", xs, cumulativeK(fixed.SolverIterations))
+	fig.AddSeries("bdma-tuned cum. iters (k)", xs, cumulativeK(tuned.SolverIterations))
+
+	fixedIters, tunedIters := sumInts(fixed.SolverIterations), sumInts(tuned.SolverIterations)
+	saving := 0.0
+	if fixedIters > 0 {
+		saving = 100 * float64(fixedIters-tunedIters) / float64(fixedIters)
+	}
+	fig.AddNote("CGBA iterations: fixed λ=%g total %d, tuned (coarse 0.1 → %g) total %d — %.1f%% saved",
+		cfg.Lambda, fixedIters, cfg.Lambda, tunedIters, saving)
+	fig.AddNote("latency: fixed %.4f s, tuned %.4f s; backlog: fixed %.3f, tuned %.3f",
+		fixed.AvgLatency(), tuned.AvgLatency(), fixed.AvgBacklog(), tuned.AvgBacklog())
+	if tunedIters >= fixedIters {
+		fig.AddNote("WARNING: tuner saved no solver work — λ schedule not engaging")
+	}
+	fig.AddNote("expect: the coarse-to-fine λ schedule cuts total best-response work while the refined tail matches fixed-knob decision quality")
+	return fig, nil
+}
+
+// compareTrace builds the shared scenario and records cfg.Slots states so
+// every roster run replays the identical trace.
+func compareTrace(cfg CompareConfig) ([]*trace.State, int, *core.System, error) {
+	if cfg.Devices <= 0 || cfg.Slots <= 0 {
+		return nil, 0, nil, fmt.Errorf("experiments: compare config invalid: %+v", cfg)
+	}
+	sc, err := NewScenario(ScenarioOptions{Devices: cfg.Devices}, cfg.Seed)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	gen, err := sc.DefaultGenerator()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return trace.Record(gen, cfg.Slots), gen.Period(), sc.Sys, nil
+}
+
+// comparePolicyRun replays the recorded trace through one named policy.
+// The scenario is regenerated from the seed so each policy owns its
+// system (virtual queues and solver scratch never leak across runs).
+func comparePolicyRun(name string, cfg CompareConfig, states []*trace.State, period int) (*sim.Metrics, error) {
+	sc, err := NewScenario(ScenarioOptions{Devices: cfg.Devices}, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := policy.New(name, sc.Sys, policy.Config{
+		V: cfg.V, Rounds: cfg.Z, Lambda: cfg.Lambda, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	replay, err := trace.NewReplay(states, period)
+	if err != nil {
+		return nil, err
+	}
+	m, err := sim.Run(pol, replay, sim.Config{Slots: cfg.Slots, Warmup: cfg.Warmup})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: policy %s: %w", name, err)
+	}
+	return m, nil
+}
+
+// cumulativeK returns the running sum of xs scaled to thousands, so the
+// iteration series shares an axis with the backlog series.
+func cumulativeK(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	sum := 0
+	for i, x := range xs {
+		sum += x
+		out[i] = float64(sum) / 1000
+	}
+	return out
+}
+
+// sumInts totals xs.
+func sumInts(xs []int) int {
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"eotora/internal/core"
+	"eotora/internal/policy"
 	"eotora/internal/sim"
 	"eotora/internal/stats"
 )
@@ -243,7 +244,7 @@ func Fig9(cfg Fig9Config) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		ms, err := sim.RunAll([]*core.Controller{bdma, mcba, ropt}, gen, sim.Config{Slots: cfg.Slots, Warmup: cfg.Warmup})
+		ms, err := sim.RunAll([]policy.Policy{bdma, mcba, ropt}, gen, sim.Config{Slots: cfg.Slots, Warmup: cfg.Warmup})
 		if err != nil {
 			return nil, err
 		}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"eotora/internal/policy"
 	"eotora/internal/sim"
 	"eotora/internal/stats"
 )
@@ -686,5 +687,83 @@ func TestAblationConvergence(t *testing.T) {
 	}
 	if l0.Y[l0.Len()-1] > l12.Y[l12.Len()-1]*1.0001 {
 		t.Errorf("λ=0 final %v above λ=0.12 final %v", l0.Y[l0.Len()-1], l12.Y[l12.Len()-1])
+	}
+}
+
+// TestComparePolicies gates the policy-roster claims of the EXPERIMENTS.md
+// appendix at quick scale: one series + summary note per policy, BDMA the
+// lowest-latency policy within budget (the harness emits a WARNING note
+// whenever a baseline beats it), and the Ω^L/Ω^U cost split.
+func TestComparePolicies(t *testing.T) {
+	fig, err := ComparePolicies(QuickCompareConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 6 {
+		t.Fatalf("series = %d, want the 6-policy roster", len(fig.Series))
+	}
+	for _, note := range fig.Notes {
+		if strings.Contains(note, "WARNING") {
+			t.Errorf("a baseline beat BDMA within budget: %s", note)
+		}
+	}
+	cost := map[string]float64{}
+	for _, s := range fig.Series {
+		if s.Len() != 1 {
+			t.Fatalf("series %q has %d points, want 1", s.Name, s.Len())
+		}
+		cost[s.Name] = s.X[0]
+	}
+	// The Ω^L baselines share the all-lowest-frequency cost; the Ω^U pair
+	// shares the all-highest one; BDMA prices itself strictly between.
+	if cost["greedy-energy"] != cost["random"] || cost["greedy-energy"] != cost["local-only"] {
+		t.Errorf("Ω^L baseline costs diverge: %v", cost)
+	}
+	if cost["greedy-deadline"] != cost["edge-only"] {
+		t.Errorf("Ω^U baseline costs diverge: %v", cost)
+	}
+	if !(cost["greedy-energy"] < cost["bdma"] && cost["bdma"] < cost["greedy-deadline"]) {
+		t.Errorf("BDMA cost %v not between Ω^L %v and Ω^U %v",
+			cost["bdma"], cost["greedy-energy"], cost["greedy-deadline"])
+	}
+}
+
+// TestTunerDemo gates the auto-tuner claims: the coarse-to-fine λ
+// schedule saves CGBA iterations (the harness notes a WARNING when it
+// does not) at near-parity decision quality.
+func TestTunerDemo(t *testing.T) {
+	cfg := QuickCompareConfig()
+	fig, err := TunerDemo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d, want backlog + iteration pairs", len(fig.Series))
+	}
+	for _, note := range fig.Notes {
+		if strings.Contains(note, "WARNING") {
+			t.Errorf("tuner saved no solver work: %s", note)
+		}
+	}
+	states, period, _, err := compareTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := comparePolicyRun(policy.BDMA, cfg, states, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := comparePolicyRun(policy.BDMATuned, cfg, states, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedIters, tunedIters := sumInts(fixed.SolverIterations), sumInts(tuned.SolverIterations)
+	if tunedIters >= fixedIters {
+		t.Errorf("tuned iterations %d not below fixed %d", tunedIters, fixedIters)
+	}
+	// Decision quality stays at parity: the refined tail matches the fixed
+	// λ, so the averaged latency may differ only in the transient (2%).
+	if ratio := tuned.AvgLatency() / fixed.AvgLatency(); ratio > 1.02 || ratio < 0.98 {
+		t.Errorf("latency parity broken: tuned %v vs fixed %v", tuned.AvgLatency(), fixed.AvgLatency())
 	}
 }

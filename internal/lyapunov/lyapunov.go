@@ -48,10 +48,20 @@ type DPP struct {
 	Queue *Queue
 }
 
+// CheckV validates a penalty weight: V must be positive and finite for
+// the drift-plus-penalty objective to trade latency against backlog at
+// all (shared by NewDPP and the online V retuning paths).
+func CheckV(v float64) error {
+	if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+		return errors.New("lyapunov: V must be positive and finite")
+	}
+	return nil
+}
+
 // NewDPP returns a DPP with the given V and initial backlog.
 func NewDPP(v, initialBacklog float64) (*DPP, error) {
-	if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
-		return nil, errors.New("lyapunov: V must be positive and finite")
+	if err := CheckV(v); err != nil {
+		return nil, err
 	}
 	return &DPP{V: v, Queue: NewQueue(initialBacklog)}, nil
 }

@@ -1,0 +1,187 @@
+package policy
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"eotora/internal/core"
+	"eotora/internal/obs"
+	"eotora/internal/par"
+	"eotora/internal/rng"
+	"eotora/internal/topology"
+	"eotora/internal/trace"
+	"eotora/internal/units"
+)
+
+// shardSetter is the controller's shard knob, probed the way drivers do.
+type shardSetter interface{ SetShards(int) error }
+
+// comparableSnapshot strips the metrics that legitimately differ between
+// runs: wall-clock timings, the pool's own series, and never-observed
+// histograms (whose NaN Min/Max is never DeepEqual to itself). Mirrors
+// the unexported helper in internal/core's pool tests.
+func comparableSnapshot(reg *obs.Registry) obs.Snapshot {
+	snap := reg.Snapshot()
+	delete(snap.Histograms, core.MetricDecisionSeconds)
+	delete(snap.Counters, par.MetricRegions)
+	delete(snap.Histograms, par.MetricRegionShards)
+	delete(snap.Gauges, par.MetricWorkers)
+	for name, h := range snap.Histograms {
+		if h.Count == 0 {
+			delete(snap.Histograms, name)
+		}
+	}
+	return snap
+}
+
+// TestSeamBitIdentity is the policy-seam regression contract: "bdma"
+// constructed through policy.New and driven through Decide must be
+// bit-identical to a directly constructed core controller driven through
+// Step — decisions, queue trajectory, solver work, and observability —
+// on a churned, sharded, deadline-armed metro run at every pool size.
+// A drift here means the seam is no longer a pure pass-through and every
+// sweep/serve result produced through it stops being comparable to the
+// paper pipeline.
+func TestSeamBitIdentity(t *testing.T) {
+	const (
+		devices = 40
+		seed    = 9
+		slots   = 200
+		v       = 110
+		rounds  = 2
+		lambda  = 0.05
+	)
+	slotsN := slots
+	if testing.Short() {
+		slotsN = 40
+	}
+
+	// One churned metro trace shared by every run.
+	sysT, gen := buildSystem(t, topology.MetroSpec(devices), seed)
+	sched, err := trace.NewChurnSchedule(trace.DefaultChurnConfig(seed), sysT.Net, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := trace.Record(sched, slotsN)
+
+	// arm applies the matrix legs both paths must share: auto shards and
+	// an effectively unlimited counted slot budget (deterministic, keeps
+	// every slot on RungFull while exercising the deadline-armed path).
+	arm := func(s shardSetter, d DeadlineSetter) {
+		if err := s.SetShards(core.ShardsAuto); err != nil {
+			t.Fatal(err)
+		}
+		d.SetSlotDeadline(0, 1<<30)
+	}
+
+	// Reference: the direct controller, serial.
+	refSys, _ := buildSystem(t, topology.MetroSpec(devices), seed)
+	ctrl, err := core.NewBDMAController(refSys, v, rounds, lambda, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm(ctrl, ctrl)
+	refReg := obs.New()
+	ctrl.SetObs(refReg)
+	want := make([]decisionKey, 0, slotsN)
+	for _, st := range states {
+		r, err := ctrl.Step(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, keyOf(r))
+	}
+	wantSnap := comparableSnapshot(refReg)
+
+	for _, size := range []int{0, 1, 4} {
+		t.Run(fmt.Sprintf("pool=%d", size), func(t *testing.T) {
+			sys, _ := buildSystem(t, topology.MetroSpec(devices), seed)
+			pol, err := New(BDMA, sys, Config{V: v, Rounds: rounds, Lambda: lambda, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			arm(pol.(shardSetter), pol.(DeadlineSetter))
+			if size > 0 {
+				pool := par.New(size)
+				defer pool.Close()
+				pol.(PoolSetter).SetPool(pool)
+			}
+			reg := obs.New()
+			pol.SetObs(reg)
+			got := decide(t, pol, states)
+			if !reflect.DeepEqual(got, want) {
+				for i := range got {
+					if !reflect.DeepEqual(got[i], want[i]) {
+						t.Fatalf("slot %d diverged from the direct controller", i+1)
+					}
+				}
+				t.Fatal("slot trace diverged from the direct controller")
+			}
+			if snap := comparableSnapshot(reg); !reflect.DeepEqual(snap, wantSnap) {
+				t.Errorf("obs snapshot diverged:\n got %+v\nwant %+v", snap, wantSnap)
+			}
+		})
+	}
+}
+
+// FuzzPolicySeamEquivalence drives random small topologies and traces
+// through both construction paths — policy.New("bdma") + Decide versus
+// core.NewBDMAController + Step, with a randomly sized pool on the seam
+// side — and requires bit-identical slot traces.
+func FuzzPolicySeamEquivalence(f *testing.F) {
+	f.Add(int64(1), int64(2), uint8(0), uint8(40))
+	f.Add(int64(3), int64(4), uint8(3), uint8(12))
+	f.Add(int64(7), int64(8), uint8(5), uint8(70))
+	f.Fuzz(func(t *testing.T, topoSeed, traceSeed int64, poolSize, deviceByte uint8) {
+		devices := 6 + int(deviceByte)%90
+		size := int(poolSize) % 6 // 0 = serial seam side
+		build := func() *core.System {
+			src := rng.New(topoSeed)
+			net, err := topology.Generate(testSpec(devices), src.Derive("net"))
+			if err != nil {
+				t.Skip() // infeasible random topology
+			}
+			sys, err := core.NewSystem(net, core.DefaultEnergyModels(len(net.Servers), src.Derive("energy")), 3600, 1)
+			if err != nil {
+				t.Skip()
+			}
+			low := sys.EnergyCost(sys.LowestFrequencies(), units.Price(50))
+			high := sys.EnergyCost(sys.HighestFrequencies(), units.Price(50))
+			sys.Budget = (low + high) / 2
+			return sys
+		}
+		sysA := build()
+		gen, err := trace.NewGenerator(sysA.Net, trace.DefaultGeneratorConfig(), traceSeed)
+		if err != nil {
+			t.Skip()
+		}
+		states := trace.Record(gen, 2)
+
+		ctrl, err := core.NewBDMAController(sysA, 100, 2, 0.05, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]decisionKey, 0, len(states))
+		for _, st := range states {
+			r, err := ctrl.Step(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, keyOf(r))
+		}
+
+		pol, err := New(BDMA, build(), Config{V: 100, Rounds: 2, Lambda: 0.05, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size > 0 {
+			pool := par.New(size)
+			defer pool.Close()
+			pol.(PoolSetter).SetPool(pool)
+		}
+		if got := decide(t, pol, states); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seam diverged from direct controller (devices=%d, pool=%d)", devices, size)
+		}
+	})
+}

@@ -7,11 +7,17 @@
 // The pipeline is ingest → batch → tick → publish (DESIGN.md §14): ingest
 // appends to a bounded queue (overflow is shed and counted, never
 // blocking the producer), every tick drains the queue in arrival order
-// into the daemon's working copy of β_t, the controller decides the slot,
-// and the decision lands in a ring buffer that long-pollers wait on. A
-// single tick goroutine owns the working state, so a replayed event
-// stream reproduces the identical decision sequence — the property the
-// snapshot/restore and loadgen-equivalence tests pin down.
+// into the daemon's working copy of β_t, the decision policy decides the
+// slot, and the decision lands in a ring buffer that long-pollers wait
+// on. A single tick goroutine owns the working state, so a replayed
+// event stream reproduces the identical decision sequence — the property
+// the snapshot/restore and loadgen-equivalence tests pin down.
+//
+// The daemon drives any policy.Policy (DESIGN.md §15) — the default BDMA
+// controller, a comparison baseline like greedy-energy, or the bdma-tuned
+// auto-tuner. Slot budgets and backpressure escalation require the
+// DeadlineSetter capability (the bdma family); configuring them for a
+// baseline fails at construction rather than silently never degrading.
 package serve
 
 import (
@@ -23,6 +29,7 @@ import (
 
 	"eotora/internal/core"
 	"eotora/internal/obs"
+	"eotora/internal/policy"
 	"eotora/internal/trace"
 	"eotora/internal/units"
 )
@@ -161,8 +168,12 @@ type instruments struct {
 // feed events through Ingest (or the HTTP handler), and advance slots
 // either manually with Tick or on a cadence with Run.
 type Daemon struct {
-	cfg  Config
-	ctrl *core.Controller
+	cfg Config
+	pol policy.Policy
+	// deadline is pol's DeadlineSetter capability; nil for policies
+	// without a slot budget (construction rejects budgeted configs for
+	// those, so a nil deadline is only ever paired with a zero budget).
+	deadline policy.DeadlineSetter
 
 	devices  int
 	stations int
@@ -198,27 +209,35 @@ type Daemon struct {
 	instr instruments
 }
 
-// NewDaemon builds a daemon around a controller and the initial slot
+// NewDaemon builds a daemon around a decision policy and the initial slot
 // state (the full β_1 of the daemon's fixed universe — typically the
 // first state of the deterministic generator both daemon and load source
 // derive from the shared seed). The initial state is deep-copied; the
-// caller keeps ownership of its copy. The controller must be exclusively
-// owned by the daemon from here on.
-func NewDaemon(ctrl *core.Controller, initial *trace.State, cfg Config) (*Daemon, error) {
-	if ctrl == nil {
-		return nil, errors.New("serve: nil controller")
+// caller keeps ownership of its copy. The policy must be exclusively
+// owned by the daemon from here on. Slot budgets and escalation require
+// a policy with the DeadlineSetter capability (the bdma family).
+func NewDaemon(pol policy.Policy, initial *trace.State, cfg Config) (*Daemon, error) {
+	if pol == nil {
+		return nil, errors.New("serve: nil policy")
 	}
 	if initial == nil {
 		return nil, errors.New("serve: nil initial state")
 	}
 	cfg = cfg.withDefaults()
-	stations, _, servers, devices := ctrl.System().Net.Counts()
+	ds, _ := pol.(policy.DeadlineSetter)
+	if ds == nil && (cfg.SlotDeadline > 0 || cfg.SlotChecks > 0 ||
+		cfg.EscalateDeadline > 0 || cfg.EscalateChecks > 0) {
+		return nil, fmt.Errorf("serve: policy %q has no slot-deadline capability; clear the Slot*/Escalate* budgets",
+			pol.Name())
+	}
+	stations, _, servers, devices := pol.System().Net.Counts()
 	if len(initial.TaskSizes) != devices || len(initial.Channels) != devices {
 		return nil, fmt.Errorf("serve: initial state has %d devices, topology %d", len(initial.TaskSizes), devices)
 	}
 	d := &Daemon{
 		cfg:      cfg,
-		ctrl:     ctrl,
+		pol:      pol,
+		deadline: ds,
 		devices:  devices,
 		stations: stations,
 		servers:  servers,
@@ -227,7 +246,7 @@ func NewDaemon(ctrl *core.Controller, initial *trace.State, cfg Config) (*Daemon
 	d.pub.init(cfg.DecisionBuffer)
 	d.loadState(initial)
 	if cfg.SlotDeadline > 0 || cfg.SlotChecks > 0 {
-		ctrl.SetSlotDeadline(cfg.SlotDeadline, cfg.SlotChecks)
+		ds.SetSlotDeadline(cfg.SlotDeadline, cfg.SlotChecks)
 	}
 	return d, nil
 }
@@ -268,11 +287,11 @@ func fullMask(n int, src []bool) []bool {
 }
 
 // SetObs attaches an observability registry: the serve.* series land
-// there, and the controller's solver instruments are threaded through
-// (core.Controller.SetObs). Nil detaches.
+// there, and the policy's own instruments are threaded through
+// (policy.Policy.SetObs). Nil detaches.
 func (d *Daemon) SetObs(reg *obs.Registry) {
 	d.obs = reg
-	d.ctrl.SetObs(reg)
+	d.pol.SetObs(reg)
 	if reg == nil {
 		d.instr = instruments{}
 		return
@@ -300,10 +319,18 @@ func (d *Daemon) SetObs(reg *obs.Registry) {
 // Obs returns the registry attached with SetObs, or nil.
 func (d *Daemon) Obs() *obs.Registry { return d.obs }
 
-// Controller returns the daemon's controller. Callers must not step it
+// Policy returns the daemon's decision policy. Callers must not step it
 // concurrently with the daemon; the accessor exists for configuration
 // (pools, shards) before the daemon starts ticking.
-func (d *Daemon) Controller() *core.Controller { return d.ctrl }
+func (d *Daemon) Policy() policy.Policy { return d.pol }
+
+// Controller returns the daemon's controller when the policy is (or
+// wraps, for nothing so far) a *core.Controller, and nil for baseline
+// policies. Same exclusivity caveat as Policy.
+func (d *Daemon) Controller() *core.Controller {
+	ctrl, _ := d.pol.(*core.Controller)
+	return ctrl
+}
 
 // Ingest appends events to the bounded queue in arrival order and
 // returns how many were accepted and how many were shed because the
@@ -385,7 +412,7 @@ func (d *Daemon) Tick() (*Decision, error) {
 	if escalated {
 		d.escalations++
 		d.instr.escalations.Inc()
-		d.ctrl.SetSlotDeadline(d.cfg.EscalateDeadline, d.cfg.EscalateChecks)
+		d.deadline.SetSlotDeadline(d.cfg.EscalateDeadline, d.cfg.EscalateChecks)
 	}
 
 	d.st.Slot = int(d.ticks) + 1
@@ -394,9 +421,9 @@ func (d *Daemon) Tick() (*Decision, error) {
 	d.st.ServerDown = downOrNil(d.serverDown)
 	d.st.CapScale = capOrNil(d.capScale)
 
-	res, err := d.ctrl.Step(d.st)
+	res, err := d.pol.Decide(d.st.Slot, d.st)
 	if escalated {
-		d.ctrl.SetSlotDeadline(d.cfg.SlotDeadline, d.cfg.SlotChecks)
+		d.deadline.SetSlotDeadline(d.cfg.SlotDeadline, d.cfg.SlotChecks)
 	}
 	d.ticks++
 	d.instr.ticks.Inc()
@@ -477,7 +504,7 @@ func (d *Daemon) Status() Status {
 	}
 	s := Status{
 		Slot:          int(d.ticks),
-		Backlog:       d.ctrl.Backlog(),
+		Backlog:       d.pol.Backlog(),
 		QueueCap:      d.cfg.QueueCap,
 		EventsApplied: d.applied,
 		EventsInvalid: d.invalid,

@@ -29,7 +29,10 @@ type Snapshot struct {
 	Version int `json:"version"`
 	// Ticks is the number of completed slot ticks.
 	Ticks int64 `json:"ticks"`
-	// Controller is the controller's resume state.
+	// Controller is the decision policy's resume state. The field name
+	// (and wire key) predate the policy seam; for baseline policies the
+	// checkpoint's Solver field carries the policy name, and for
+	// bdma-tuned its Extra map carries the tuner state.
 	Controller core.Checkpoint `json:"controller"`
 	// State is the working slot state at snapshot time.
 	State SnapshotState `json:"state"`
@@ -133,7 +136,7 @@ func (d *Daemon) Snapshot() Snapshot {
 	return Snapshot{
 		Version:    SnapshotVersion,
 		Ticks:      d.ticks,
-		Controller: d.ctrl.Checkpoint(),
+		Controller: d.pol.Checkpoint(),
 		State:      st,
 		Pending:    pending,
 		Counters:   counters,
@@ -172,7 +175,7 @@ func (d *Daemon) Restore(s Snapshot) error {
 
 	d.tickMu.Lock()
 	defer d.tickMu.Unlock()
-	if err := d.ctrl.Restore(s.Controller); err != nil {
+	if err := d.pol.Restore(s.Controller); err != nil {
 		return err
 	}
 

@@ -14,7 +14,7 @@ import (
 	"strings"
 	"time"
 
-	"eotora/internal/core"
+	"eotora/internal/policy"
 	"eotora/internal/stats"
 	"eotora/internal/trace"
 )
@@ -46,7 +46,11 @@ func (c Config) Validate() error {
 // Metrics holds per-slot series from one run. All slices share the same
 // length (the number of simulated slots).
 type Metrics struct {
-	// Solver identifies the controller's P2-A algorithm.
+	// Policy identifies the decision policy that produced the run
+	// ("bdma", "greedy-energy", ...; see internal/policy).
+	Policy string
+	// Solver identifies the policy's P2-A algorithm, or "" for baseline
+	// policies that run no solver.
 	Solver string
 	// V is the controller's penalty weight.
 	V float64
@@ -172,9 +176,12 @@ func (m *Metrics) WindowAvgLatency(window int) []float64 {
 	return stats.WindowMeans(m.Latency, window)
 }
 
-// WriteCSV streams the per-slot series as CSV.
+// WriteCSV streams the per-slot series as CSV (the schema table in
+// OPERATIONS.md §1 documents every column). The trailing policy column
+// makes comparison runs self-describing when their CSVs are
+// concatenated.
 func (m *Metrics) WriteCSV(w io.Writer) error {
-	if _, err := io.WriteString(w, "slot,latency_s,cost_usd,theta,backlog,price_mwh,solver_iters,decision_us,degraded,rung,active_devices,active_servers,churn_events\n"); err != nil {
+	if _, err := io.WriteString(w, "slot,latency_s,cost_usd,theta,backlog,price_mwh,solver_iters,decision_us,degraded,rung,active_devices,active_servers,churn_events,policy\n"); err != nil {
 		return err
 	}
 	for i := range m.Latency {
@@ -194,7 +201,8 @@ func (m *Metrics) WriteCSV(w io.Writer) error {
 			strconv.Itoa(m.Rung[i]) + "," +
 			strconv.Itoa(m.ActiveDevices[i]) + "," +
 			strconv.Itoa(m.ActiveServers[i]) + "," +
-			strconv.Itoa(m.ChurnEvents[i]) + "\n"
+			strconv.Itoa(m.ChurnEvents[i]) + "," +
+			m.Policy + "\n"
 		if _, err := io.WriteString(w, row); err != nil {
 			return err
 		}
@@ -202,15 +210,17 @@ func (m *Metrics) WriteCSV(w io.Writer) error {
 	return nil
 }
 
-// Run simulates the controller against the state source for cfg.Slots
-// slots. Steady-state slots are allocation-light: the controller reuses
-// one P2A instance (the game arena is rebuilt in place each slot and only
-// reweighted between BDMA rounds) and one solve engine, and the Lemma-1
-// accumulators come from a pooled scratch, so per-slot heap work is
-// dominated by the recorded metrics, not the solve.
-func Run(ctrl *core.Controller, src trace.Source, cfg Config) (*Metrics, error) {
-	if ctrl == nil {
-		return nil, errors.New("sim: nil controller")
+// Run simulates the policy against the state source for cfg.Slots
+// slots. Any policy.Policy drives — the flagship *core.Controller, the
+// comparison baselines, or the auto-tuner. Steady-state slots of the
+// controller are allocation-light: it reuses one P2A instance (the game
+// arena is rebuilt in place each slot and only reweighted between BDMA
+// rounds) and one solve engine, and the Lemma-1 accumulators come from a
+// pooled scratch, so per-slot heap work is dominated by the recorded
+// metrics, not the solve.
+func Run(p policy.Policy, src trace.Source, cfg Config) (*Metrics, error) {
+	if p == nil {
+		return nil, errors.New("sim: nil policy")
 	}
 	if src == nil {
 		return nil, errors.New("sim: nil state source")
@@ -218,20 +228,25 @@ func Run(ctrl *core.Controller, src trace.Source, cfg Config) (*Metrics, error) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := newMetrics(ctrl, cfg)
+	m := newMetrics(p, cfg)
 	for s := 0; s < cfg.Slots; s++ {
-		if err := m.step(ctrl, src, s); err != nil {
+		if err := m.step(p, src, s); err != nil {
 			return nil, err
 		}
 	}
 	return m, nil
 }
 
-func newMetrics(ctrl *core.Controller, cfg Config) *Metrics {
+func newMetrics(p policy.Policy, cfg Config) *Metrics {
+	solver := ""
+	if sn, ok := p.(policy.SolverNamer); ok {
+		solver = sn.SolverName()
+	}
 	return &Metrics{
-		Solver:           ctrl.SolverName(),
-		V:                ctrl.V(),
-		Budget:           ctrl.System().Budget.Dollars(),
+		Policy:           p.Name(),
+		Solver:           solver,
+		V:                p.V(),
+		Budget:           p.System().Budget.Dollars(),
 		Warmup:           cfg.Warmup,
 		Latency:          make([]float64, 0, cfg.Slots),
 		CommLatency:      make([]float64, 0, cfg.Slots),
@@ -252,10 +267,12 @@ func newMetrics(ctrl *core.Controller, cfg Config) *Metrics {
 	}
 }
 
-// step advances one slot and records its metrics.
-func (m *Metrics) step(ctrl *core.Controller, src trace.Source, s int) error {
+// step advances one slot and records its metrics. The slot index passed
+// to Decide continues the policy's own numbering, so a policy restored
+// from a checkpoint resumes mid-sequence without renumbering.
+func (m *Metrics) step(p policy.Policy, src trace.Source, s int) error {
 	st := src.Next()
-	res, err := ctrl.Step(st)
+	res, err := p.Decide(p.Slot()+1, st)
 	if err != nil {
 		return fmt.Errorf("sim: slot %d: %w", s+1, err)
 	}
@@ -271,7 +288,7 @@ func (m *Metrics) step(ctrl *core.Controller, src trace.Source, s int) error {
 	m.SolverIterations = append(m.SolverIterations, res.SolverIterations)
 	m.DecisionTime = append(m.DecisionTime, res.Elapsed)
 	m.Rung = append(m.Rung, res.Rung)
-	_, _, servers, devices := ctrl.System().Net.Counts()
+	_, _, servers, devices := p.System().Net.Counts()
 	m.ActiveDevices = append(m.ActiveDevices, st.ActiveDevices(devices))
 	m.ActiveServers = append(m.ActiveServers, st.ActiveServers(servers))
 	m.ChurnEvents = append(m.ChurnEvents, len(st.Churn))
@@ -303,23 +320,24 @@ func (m *Metrics) DeviceLatencyQuantile(q float64) float64 {
 	return stats.Quantile(all, q)
 }
 
-// RunAll simulates several controllers over the *same* recorded state
-// sequence, the apples-to-apples setup of Figure 9. The source is drawn
-// once and replayed for every controller.
-func RunAll(ctrls []*core.Controller, src trace.Source, cfg Config) ([]*Metrics, error) {
+// RunAll simulates several policies over the *same* recorded state
+// sequence, the apples-to-apples setup of Figure 9 and the policy
+// comparison figure. The source is drawn once and replayed for every
+// policy.
+func RunAll(policies []policy.Policy, src trace.Source, cfg Config) ([]*Metrics, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	states := trace.Record(src, cfg.Slots)
-	out := make([]*Metrics, 0, len(ctrls))
-	for i, ctrl := range ctrls {
+	out := make([]*Metrics, 0, len(policies))
+	for i, p := range policies {
 		replay, err := trace.NewReplay(states, src.Period())
 		if err != nil {
 			return nil, err
 		}
-		m, err := Run(ctrl, replay, cfg)
+		m, err := Run(p, replay, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("sim: controller %d (%s): %w", i, ctrl.SolverName(), err)
+			return nil, fmt.Errorf("sim: policy %d (%s): %w", i, p.Name(), err)
 		}
 		out = append(out, m)
 	}
@@ -330,7 +348,11 @@ func RunAll(ctrls []*core.Controller, src trace.Source, cfg Config) ([]*Metrics,
 // latency split, fairness, and budget verdict.
 func (m *Metrics) Summary(w io.Writer) error {
 	var b strings.Builder
-	fmt.Fprintf(&b, "run: %s-based DPP, V=%g, %d slots (%d warmup)\n", m.Solver, m.V, m.Slots(), m.Warmup)
+	if m.Solver != "" {
+		fmt.Fprintf(&b, "run: policy %s (%s-based DPP), V=%g, %d slots (%d warmup)\n", m.Policy, m.Solver, m.V, m.Slots(), m.Warmup)
+	} else {
+		fmt.Fprintf(&b, "run: policy %s, V=%g, %d slots (%d warmup)\n", m.Policy, m.V, m.Slots(), m.Warmup)
+	}
 	fmt.Fprintf(&b, "  avg latency:        %.4f s/slot", m.AvgLatency())
 	if comm, proc := m.AvgCommLatency(), m.AvgProcLatency(); !math.IsNaN(comm) && !math.IsNaN(proc) {
 		fmt.Fprintf(&b, "  (comm %.4f + proc %.4f)", comm, proc)
@@ -362,9 +384,9 @@ func (m *Metrics) Summary(w io.Writer) error {
 // RunContext is Run with cooperative cancellation: it checks ctx between
 // slots and returns ctx.Err() (with partial metrics) once canceled.
 // Long paper-scale runs should prefer it.
-func RunContext(ctx context.Context, ctrl *core.Controller, src trace.Source, cfg Config) (*Metrics, error) {
-	if ctrl == nil {
-		return nil, errors.New("sim: nil controller")
+func RunContext(ctx context.Context, p policy.Policy, src trace.Source, cfg Config) (*Metrics, error) {
+	if p == nil {
+		return nil, errors.New("sim: nil policy")
 	}
 	if src == nil {
 		return nil, errors.New("sim: nil state source")
@@ -372,12 +394,12 @@ func RunContext(ctx context.Context, ctrl *core.Controller, src trace.Source, cf
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := newMetrics(ctrl, cfg)
+	m := newMetrics(p, cfg)
 	for s := 0; s < cfg.Slots; s++ {
 		if err := ctx.Err(); err != nil {
 			return m, fmt.Errorf("sim: canceled at slot %d: %w", s+1, err)
 		}
-		if err := m.step(ctrl, src, s); err != nil {
+		if err := m.step(p, src, s); err != nil {
 			return nil, err
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"eotora/internal/core"
+	"eotora/internal/policy"
 	"eotora/internal/rng"
 	"eotora/internal/topology"
 	"eotora/internal/trace"
@@ -179,7 +180,7 @@ func TestRunAllSharesTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms, err := RunAll([]*core.Controller{bdma, ropt}, gen, Config{Slots: 20, Warmup: 4})
+	ms, err := RunAll([]policy.Policy{bdma, ropt}, gen, Config{Slots: 20, Warmup: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestRunAllPropagatesBudgetMeta(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms, err := RunAll([]*core.Controller{ctrl}, gen, Config{Slots: 5})
+	ms, err := RunAll([]policy.Policy{ctrl}, gen, Config{Slots: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,5 +331,71 @@ func TestRecordPerDevice(t *testing.T) {
 	}
 	if !math.IsNaN(m2.DeviceLatencyQuantile(0.5)) {
 		t.Error("quantile without recording should be NaN")
+	}
+}
+
+// TestWriteCSVPolicyColumn: every per-slot row carries the policy name
+// in the trailing column (OPERATIONS.md §1 schema), for both a baseline
+// policy and the flagship controller.
+func TestWriteCSVPolicyColumn(t *testing.T) {
+	sys, gen := buildFixture(t, 5, 3)
+	pol, err := policy.New(policy.GreedyEnergy, sys, policy.Config{V: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(pol, gen, Config{Slots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Policy != policy.GreedyEnergy || m.Solver != "" {
+		t.Fatalf("metadata policy=%q solver=%q", m.Policy, m.Solver)
+	}
+	var sb strings.Builder
+	if err := m.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if !strings.HasSuffix(lines[0], ",policy") {
+		t.Errorf("header %q does not end with the policy column", lines[0])
+	}
+	for _, row := range lines[1:] {
+		if !strings.HasSuffix(row, ","+policy.GreedyEnergy) {
+			t.Errorf("row %q does not carry the policy name", row)
+		}
+	}
+	var sum strings.Builder
+	if err := m.Summary(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sum.String(), "policy "+policy.GreedyEnergy) {
+		t.Errorf("summary %q does not name the policy", sum.String())
+	}
+
+	ctrl, err := core.NewBDMAController(sys, 50, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gen2 := buildFixture(t, 5, 3)
+	m2, err := Run(ctrl, gen2, Config{Slots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Policy != policy.BDMA || m2.Solver != "CGBA" {
+		t.Fatalf("controller metadata policy=%q solver=%q", m2.Policy, m2.Solver)
+	}
+	var sb2 strings.Builder
+	if err := m2.WriteCSV(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimSpace(sb2.String()), "\n")
+	if !strings.HasSuffix(rows[1], ","+policy.BDMA) {
+		t.Errorf("controller row %q does not carry the policy name", rows[1])
+	}
+	var sum2 strings.Builder
+	if err := m2.Summary(&sum2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sum2.String(), "policy bdma (CGBA-based DPP)") {
+		t.Errorf("controller summary %q does not name policy and solver", sum2.String())
 	}
 }

@@ -10,31 +10,41 @@ import (
 	"eotora/internal/faults"
 	"eotora/internal/obs"
 	"eotora/internal/par"
+	"eotora/internal/policy"
 	"eotora/internal/trace"
 )
 
-// Job is one point of a parameter sweep: factories produce the controller
+// Job is one point of a parameter sweep: factories produce the policy
 // and state source when (and on whichever goroutine) the job runs, so
-// jobs never share mutable state.
+// jobs never share mutable state. Exactly one of Policy and Controller
+// must be set; mixing job kinds within one Sweep is fine, so a single
+// sweep can race the BDMA controller against the baseline policies over
+// the same recorded trace and emit side-by-side metrics.
 type Job struct {
 	// Name labels the job in results and errors.
 	Name string
-	// Controller builds the job's controller.
+	// Policy builds the job's decision policy (internal/policy).
+	Policy func() (policy.Policy, error)
+	// Controller builds the job's controller — the pre-policy-seam
+	// shorthand for bdma jobs, equivalent to a Policy factory returning
+	// the same *core.Controller.
 	Controller func() (*core.Controller, error)
 	// Source builds the job's state source.
 	Source func() (trace.Source, error)
 	// Config bounds the job's run.
 	Config Config
 	// Obs, when non-nil, is the job's observability registry. Give each
-	// job its own registry and attach it to the job's controller inside
-	// the Controller factory (core.Controller.SetObs); the sweep carries
-	// it into the JobResult, and MergedObs folds the per-worker
-	// registries into one fleet view after the sweep.
+	// job its own registry and attach it to the job's policy inside the
+	// factory (policy.Policy.SetObs); the sweep carries it into the
+	// JobResult, and MergedObs folds the per-worker registries into one
+	// fleet view after the sweep.
 	Obs *obs.Registry
 	// Faults, when non-nil, wraps the job's source in a seeded fault
 	// injector (and, when Faults.Sanitize is set, a repairing
 	// trace.Sanitizer on top) and attaches the injector's stall channel to
-	// the controller. See the faults package for the fault model.
+	// the policy when it accepts stalls (faults.Staller); baselines
+	// without a timed solve simply skip the stall leg while still seeing
+	// the corrupted traces. See the faults package for the fault model.
 	Faults *faults.Config
 	// Churn, when non-nil, wraps the job's source in a deterministic
 	// population process (trace.ChurnSchedule): device joins and leaves,
@@ -124,38 +134,60 @@ feed:
 }
 
 func runJob(job Job, out *JobResult, pool *par.Pool) error {
-	if job.Controller == nil || job.Source == nil {
+	if job.Source == nil {
+		return errors.New("nil source factory")
+	}
+	var pol policy.Policy
+	switch {
+	case job.Policy != nil && job.Controller != nil:
+		return errors.New("both Policy and Controller factories set")
+	case job.Policy != nil:
+		p, err := job.Policy()
+		if err != nil {
+			return err
+		}
+		if p == nil {
+			return errors.New("policy factory returned nil")
+		}
+		pol = p
+	case job.Controller != nil:
+		ctrl, err := job.Controller()
+		if err != nil {
+			return err
+		}
+		pol = ctrl
+	default:
 		return errors.New("nil factory")
 	}
-	ctrl, err := job.Controller()
-	if err != nil {
-		return err
-	}
 	if pool != nil {
-		ctrl.SetPool(pool)
+		if ps, ok := pol.(policy.PoolSetter); ok {
+			ps.SetPool(pool)
+		}
 	}
 	src, err := job.Source()
 	if err != nil {
 		return err
 	}
 	if job.Churn != nil {
-		src, err = trace.NewChurnSchedule(*job.Churn, ctrl.System().Net, src)
+		src, err = trace.NewChurnSchedule(*job.Churn, pol.System().Net, src)
 		if err != nil {
 			return err
 		}
 	}
 	if job.Faults != nil {
-		inj, err := faults.NewInjector(*job.Faults, len(ctrl.System().Net.Servers), src)
+		inj, err := faults.NewInjector(*job.Faults, len(pol.System().Net.Servers), src)
 		if err != nil {
 			return err
 		}
-		inj.Attach(ctrl)
+		if st, ok := pol.(faults.Staller); ok {
+			inj.Attach(st)
+		}
 		src = inj
 		if job.Faults.Sanitize {
 			src = trace.NewSanitizer(src)
 		}
 	}
-	m, err := Run(ctrl, src, job.Config)
+	m, err := Run(pol, src, job.Config)
 	if err != nil {
 		return err
 	}

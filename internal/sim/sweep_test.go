@@ -9,6 +9,7 @@ import (
 
 	"eotora/internal/core"
 	"eotora/internal/obs"
+	"eotora/internal/policy"
 	"eotora/internal/trace"
 )
 
@@ -328,5 +329,90 @@ func TestSweepMergedObs(t *testing.T) {
 	}
 	if snap.Counters[core.MetricCGBASolves] == 0 {
 		t.Error("merged registry missing CGBA solve counts")
+	}
+}
+
+// TestSweepMixedPolicyJobs races a bdma Controller job, a bdma Policy
+// job, and a baseline Policy job in one sweep: mixing job kinds works,
+// and the two bdma jobs — identical configuration through either
+// factory — agree bit-for-bit.
+func TestSweepMixedPolicyJobs(t *testing.T) {
+	src := func() (trace.Source, error) {
+		_, gen := buildFixture(t, 6, 9)
+		return gen, nil
+	}
+	cfg := Config{Slots: 12, Warmup: 2}
+	jobs := []Job{
+		{
+			Name: "bdma-controller",
+			Controller: func() (*core.Controller, error) {
+				sys, _ := buildFixture(t, 6, 9)
+				return core.NewBDMAController(sys, 50, 1, 0, 1)
+			},
+			Source: src, Config: cfg,
+		},
+		{
+			Name: "bdma-policy",
+			Policy: func() (policy.Policy, error) {
+				sys, _ := buildFixture(t, 6, 9)
+				return policy.New(policy.BDMA, sys, policy.Config{V: 50, Rounds: 1, Seed: 1})
+			},
+			Source: src, Config: cfg,
+		},
+		{
+			Name: "greedy-energy",
+			Policy: func() (policy.Policy, error) {
+				sys, _ := buildFixture(t, 6, 9)
+				return policy.New(policy.GreedyEnergy, sys, policy.Config{V: 50, Seed: 1})
+			},
+			Source: src, Config: cfg,
+		},
+	}
+	results, err := Sweep(jobs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Metrics.Policy != "bdma" || results[2].Metrics.Policy != "greedy-energy" {
+		t.Errorf("policy labels %q/%q", results[0].Metrics.Policy, results[2].Metrics.Policy)
+	}
+	a, b := results[0].Metrics, results[1].Metrics
+	for i := range a.Latency {
+		if a.Latency[i] != b.Latency[i] || a.Backlog[i] != b.Backlog[i] {
+			t.Fatalf("slot %d: bdma job diverged across factories", i)
+		}
+	}
+}
+
+// TestSweepJobFactoryValidation: a job with both factories, with
+// neither, or whose policy factory returns nil fails cleanly.
+func TestSweepJobFactoryValidation(t *testing.T) {
+	src := func() (trace.Source, error) {
+		_, gen := buildFixture(t, 6, 9)
+		return gen, nil
+	}
+	cases := map[string]Job{
+		"both": {
+			Name: "both",
+			Controller: func() (*core.Controller, error) {
+				sys, _ := buildFixture(t, 6, 9)
+				return core.NewBDMAController(sys, 50, 1, 0, 1)
+			},
+			Policy: func() (policy.Policy, error) {
+				sys, _ := buildFixture(t, 6, 9)
+				return policy.New(policy.BDMA, sys, policy.Config{V: 50, Seed: 1})
+			},
+			Source: src, Config: Config{Slots: 2},
+		},
+		"neither": {Name: "neither", Source: src, Config: Config{Slots: 2}},
+		"nil policy": {
+			Name:   "nil policy",
+			Policy: func() (policy.Policy, error) { return nil, nil },
+			Source: src, Config: Config{Slots: 2},
+		},
+	}
+	for name, job := range cases {
+		if _, err := Sweep([]Job{job}, 1); err == nil {
+			t.Errorf("%s: sweep accepted the invalid job", name)
+		}
 	}
 }

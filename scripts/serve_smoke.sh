@@ -81,4 +81,40 @@ if ! grep -q "\"ticks\": $SLOTS" "$workdir/snap.json"; then
     exit 1
 fi
 
-echo "serve smoke OK: $SLOTS slots, zero shed, zero degraded"
+# Second leg: the daemon must also boot and stream behind a baseline
+# policy (no degradation ladder, no slot budgets). A short run suffices
+# — this gates the -policy plumbing end to end, not throughput.
+POLICY_SLOTS=20
+echo "== booting eotorad (-policy greedy-energy) on $ADDR"
+"$workdir/eotorad" -listen "127.0.0.1:$PORT" -devices "$DEVICES" -tick 0 \
+    -policy greedy-energy &
+daemon_pid=$!
+i=0
+until curl -fsS "$ADDR/v1/status" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "eotorad -policy greedy-energy did not come up on $ADDR" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo "== streaming $POLICY_SLOTS slots through loadgen"
+"$workdir/loadgen" -addr "$ADDR" -devices "$DEVICES" -slots "$POLICY_SLOTS" \
+    -fail-degraded -fail-shed
+
+curl -fsS "$ADDR/metrics" >"$workdir/metrics-policy.json"
+for want in \
+    "\"serve.ticks\": $POLICY_SLOTS" \
+    '"serve.events_shed": 0'; do
+    if ! grep -q "$want" "$workdir/metrics-policy.json"; then
+        echo "baseline-policy metrics scrape missing '$want':" >&2
+        cat "$workdir/metrics-policy.json" >&2
+        exit 1
+    fi
+done
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+echo "serve smoke OK: $SLOTS slots bdma + $POLICY_SLOTS slots greedy-energy, zero shed, zero degraded"
